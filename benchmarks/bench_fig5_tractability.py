@@ -1,0 +1,51 @@
+"""Figure 5 — tractability of computing MinSep + PMC over the datasets.
+
+Paper: per dataset, how many graphs allow (a) minimal-separator
+enumeration within the small budget and (b) PMC enumeration within the
+large budget.  Expected shape: TPC-H / ObjectDetection fully terminated;
+Grids / Segmentation mixed; Alchemy / Pedigree / Protein families not
+terminated.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import figure5
+from repro.bench.reporting import format_table, save_report
+from repro.separators.berry import minimal_separators
+from repro.pmc.enumerate import potential_maximal_cliques
+from repro.workloads.registry import dataset
+
+
+def test_figure5_report(benchmark, ms_budget, pmc_budget):
+    """Regenerate the Figure 5 table (all 14 datasets)."""
+
+    def run():
+        return figure5(ms_budget=ms_budget, pmc_budget=pmc_budget)
+
+    summary, probes = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_table(
+        summary,
+        title=f"Figure 5: tractability (budgets {ms_budget}s MS / {pmc_budget}s PMC)",
+    )
+    print("\n" + text)
+    save_report("figure5", summary, text)
+    save_report("figure5_probes", probes, format_table(probes))
+    # Shape assertions from the paper: easy and impossible anchors.
+    by_name = {row["dataset"]: row for row in summary}
+    assert by_name["TPC-H"]["not_terminated"] == 0
+    assert by_name["ObjectDetection"]["not_terminated"] == 0
+    assert by_name["Alchemy"]["terminated"] == 0
+    assert by_name["Pedigree"]["terminated"] == 0
+
+
+def test_minsep_kernel_objdet(benchmark):
+    """Microbenchmark: separator enumeration on an object-detection graph."""
+    _, graph = dataset("ObjectDetection")[0]
+    benchmark(lambda: minimal_separators(graph))
+
+
+def test_pmc_kernel_pace(benchmark):
+    """Microbenchmark: PMC enumeration on a PACE-100s instance."""
+    name, graph = dataset("Pace2016-100s")[0]
+    seps = minimal_separators(graph)
+    benchmark(lambda: potential_maximal_cliques(graph, separators=seps))

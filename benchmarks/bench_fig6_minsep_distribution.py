@@ -1,0 +1,41 @@
+"""Figure 6 — distribution of #minimal separators vs #edges (log-log).
+
+Paper: on MS-tractable graphs the separator count is "quite often
+comparable to the number of edges, and sometimes even smaller".  The
+report prints the scatter and checks that a majority of points sit within
+two orders of magnitude of the edge count.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench.experiments import figure5, figure6
+from repro.bench.reporting import ascii_series, format_table, save_report
+
+
+def test_figure6_report(benchmark, ms_budget, pmc_budget):
+    def run():
+        _summary, probes = figure5(ms_budget=ms_budget, pmc_budget=pmc_budget)
+        return figure6(probes)
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_table(points, title="Figure 6: #minseps vs #edges (MS-tractable)")
+    scatter = ascii_series(
+        [
+            (math.log10(max(p["edges"], 1)), p["minseps"])
+            for p in points
+            if p["minseps"]
+        ],
+        log_y=True,
+        title="log10(#minseps) vs log10(#edges)",
+    )
+    print("\n" + text + "\n" + scatter)
+    save_report("figure6", points, text + "\n" + scatter)
+
+    assert len(points) >= 20
+    # Paper's observation: separator counts are frequently <= 100x edges.
+    comparable = sum(
+        1 for p in points if p["minseps"] is not None and p["minseps"] <= 100 * p["edges"]
+    )
+    assert comparable >= 0.8 * len(points)

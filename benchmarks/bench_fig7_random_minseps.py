@@ -1,0 +1,71 @@
+"""Figure 7 — number of minimal separators on G(n, p).
+
+Paper: sweeping p for each n shows separator counts staying small at both
+density extremes and blowing up in between (around p ≈ 0.25), with larger
+n timing out there (the red marks).  The report reproduces the sweep at
+scaled sizes and asserts the hump shape: the mid-density maximum dominates
+both tails.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.bench.experiments import figure7
+from repro.bench.reporting import ascii_series, format_table, save_report
+from repro.graphs.generators import erdos_renyi
+from repro.separators.berry import minimal_separators
+
+
+def test_figure7_report(benchmark, budget):
+    def run():
+        return figure7(sizes=(12, 16, 20), draws=2, budget=max(budget / 2, 0.5))
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_table(rows, title="Figure 7: |MinSep(G(n,p))| (None = timeout)")
+    print("\n" + text)
+
+    by_n: dict[int, list] = defaultdict(list)
+    for r in rows:
+        by_n[r["n"]].append(r)
+    charts = []
+    for n, group in sorted(by_n.items()):
+        pts = [(g["p"], g["minseps"]) for g in group if g["minseps"] is not None]
+        if pts:
+            charts.append(
+                ascii_series(pts, log_y=True, title=f"n={n}: log10(#minseps) vs p")
+            )
+    print("\n".join(charts))
+    save_report("figure7", rows, text + "\n" + "\n".join(charts))
+
+    # Hump shape per n: the mid-range (0.15..0.45) max exceeds both the
+    # sparse tail (p <= 2/n) and the dense tail (p >= 0.9) maxima.
+    for n, group in by_n.items():
+        def max_count(pred):
+            vals = [
+                g["minseps"]
+                for g in group
+                if pred(g["p"]) and g["minseps"] is not None
+            ]
+            return max(vals, default=0)
+
+        mid = max_count(lambda p: 0.15 <= p <= 0.45)
+        timed_out_mid = any(
+            g["timeout"] for g in group if 0.15 <= g["p"] <= 0.45
+        )
+        sparse = max_count(lambda p: p <= 2.0 / n)
+        dense = max_count(lambda p: p >= 0.9)
+        assert timed_out_mid or mid >= sparse, f"n={n}"
+        assert timed_out_mid or mid >= dense, f"n={n}"
+
+
+def test_minsep_kernel_midrange(benchmark):
+    """Microbenchmark: the hard regime p = 0.25 at n = 16."""
+    g = erdos_renyi(16, 0.25, seed=7)
+    benchmark(lambda: minimal_separators(g))
+
+
+def test_minsep_kernel_dense(benchmark):
+    """Microbenchmark: the easy dense regime p = 0.8 at n = 16."""
+    g = erdos_renyi(16, 0.8, seed=7)
+    benchmark(lambda: minimal_separators(g))

@@ -1,0 +1,49 @@
+"""Figure 8 — delay and optimal-result ratios on G(n, p).
+
+Paper, panels (a)/(b): average delay of RankedTriang (with and without
+init) vs CKK across the density sweep — CKK's delay is flat and small;
+RankedTriang's grows toward the mid-density separator blow-up, where its
+initialization eventually fails entirely (no data points).  Panels
+(c)/(d): the fraction of optimal-cost results CKK returns relative to
+RankedTriang.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import figure8
+from repro.bench.reporting import ascii_series, format_table, save_report
+
+
+def test_figure8_report(benchmark, budget):
+    def run():
+        return figure8(
+            budget=budget,
+            sizes=(14,),
+            draws=2,
+            probabilities=(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8),
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_table(rows, title=f"Figure 8 ({budget}s budget per run)")
+    chart = ascii_series(
+        [
+            (r["p"], r["ranked_delay"])
+            for r in rows
+            if r["ranked_delay"] != float("inf")
+        ],
+        log_y=True,
+        title="RankedTriang delay (log10 s) vs p",
+    )
+    print("\n" + text + "\n" + chart)
+    save_report("figure8", rows, text + "\n" + chart)
+
+    assert rows
+    # Shape: delays are finite at the density extremes for this n.
+    by_p = {r["p"]: r for r in rows}
+    low = min(by_p)
+    high = max(by_p)
+    assert by_p[low]["ranked_delay"] != float("inf")
+    assert by_p[high]["ranked_delay"] != float("inf")
+    # CKK has no init, so its delay never exceeds budget per result
+    # catastrophically at the extremes.
+    assert by_p[low]["ckk_delay"] != float("inf")

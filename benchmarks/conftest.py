@@ -1,0 +1,43 @@
+"""Shared configuration for the benchmark suite.
+
+Every file regenerates one table/figure of the paper at reproduction
+scale and prints the same rows/series the paper reports; use ``-s`` to
+see the tables.  Reports are also written under ``results/``.
+
+Scale knobs (env vars):
+
+* ``REPRO_BENCH_BUDGET`` — per-graph seconds for enumeration runs (default 2).
+* ``REPRO_BENCH_MS_BUDGET`` / ``REPRO_BENCH_PMC_BUDGET`` — Figure 5 gates
+  (defaults 0.5 / 2.5 seconds; the paper used 60 s / 30 min).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def _env_float(name: str, default: float) -> float:
+    try:
+        return float(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+@pytest.fixture(scope="session")
+def budget() -> float:
+    """Per-graph enumeration budget in seconds."""
+    return _env_float("REPRO_BENCH_BUDGET", 2.0)
+
+
+@pytest.fixture(scope="session")
+def ms_budget() -> float:
+    """Minimal-separator budget (Figure 5 gate)."""
+    return _env_float("REPRO_BENCH_MS_BUDGET", 0.5)
+
+
+@pytest.fixture(scope="session")
+def pmc_budget() -> float:
+    """PMC budget (Figure 5 gate)."""
+    return _env_float("REPRO_BENCH_PMC_BUDGET", 2.5)

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Junction-tree selection for probabilistic inference with variable domains.
+
+Junction-tree inference cost is driven by clique state spaces:
+``Σ_bag Π_{v∈bag} |dom(v)|``.  On a loopy model whose variables have mixed
+domain sizes, *width cannot discriminate*: every minimal triangulation of
+a cycle has width 2, yet their state spaces differ by large factors
+depending on which chords touch the high-resolution variables.
+
+This example models a ring of 8 sensors (two of them high-resolution,
+domain 12; the rest binary), enumerates the minimal triangulations with a
+domain-aware split-monotone cost (max log-state-space per bag — the
+Furuse–Yamazaki weighted width of Section 3), and shows that
+
+* the ranked stream immediately yields the cheapest junction tree, and
+* a width-only tie-break could pick a tree costing several times more.
+
+Run:  python examples/bayesian_inference.py
+"""
+
+import itertools
+import math
+
+from repro import WeightedWidthCost, WidthCost, ranked_triangulations
+from repro.costs import vertex_weight_bag_cost
+from repro.graphs.generators import cycle_graph
+
+
+def state_space(bags, domains) -> float:
+    """Total junction-tree table size."""
+    return sum(math.prod(domains[v] for v in bag) for bag in bags)
+
+
+def main() -> None:
+    # A ring of 8 sensors; sensors 0 and 4 are high-resolution.
+    graph = cycle_graph(8)
+    domains = {i: (12 if i in (0, 4) else 2) for i in range(8)}
+    print("model: cycle of 8 sensors, dom sizes", [domains[i] for i in range(8)])
+
+    # Width alone cannot rank: every minimal triangulation of C_8 has
+    # width 2 (bags of size 3).
+    widths = {
+        r.triangulation.width
+        for r in itertools.islice(ranked_triangulations(graph, WidthCost()), 20)
+    }
+    print(f"widths over the first 20 width-ranked results: {sorted(widths)}")
+
+    # Domain-aware split-monotone cost: max over bags of log state space.
+    log_weight = vertex_weight_bag_cost(
+        {v: float(d) for v, d in domains.items()}, mode="log-product"
+    )
+    cost = WeightedWidthCost(log_weight)
+
+    print("\nranked by max bag state space:")
+    totals = []
+    for result in itertools.islice(ranked_triangulations(graph, cost), 10):
+        total = state_space(result.triangulation.bags, domains)
+        totals.append(total)
+        print(
+            f"  #{result.rank}: max-bag-states={math.exp(result.cost):6.0f}  "
+            f"total states={total:6.0f}  "
+            f"bags={sorted(sorted(b) for b in result.triangulation.bags)}"
+        )
+
+    best = min(totals)
+    worst_seen = max(totals)
+    print(
+        f"\nbest junction tree: {best:.0f} total states "
+        f"(first in the domain-aware ranking: {totals[0]:.0f})"
+    )
+    print(
+        f"a width-only tie-break could cost up to {worst_seen:.0f} states "
+        f"({worst_seen / best:.1f}x more) — all of these have width 2"
+    )
+    assert totals[0] == best
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Decomposition choice for weighted model counting (#SAT).
+
+Dynamic programming for model counting over a tree decomposition of a
+CNF's primal graph touches ``2^|bag|`` partial assignments per bag, so the
+natural cost is ``Σ_b 2^|b|`` — the paper's "sum over the exponents of the
+bag cardinalities" split-monotone cost — rather than plain width: two
+width-equal decompositions can differ substantially in total table size.
+
+This example generates a random 3-CNF, enumerates minimal triangulations
+of its primal graph ranked by ``Σ 2^|b|``, and contrasts the DP table
+sizes with those of the width-ranked stream.
+
+Run:  python examples/model_counting.py
+"""
+
+import itertools
+
+from repro import SumExpBagCost, WidthCost, ranked_triangulations
+from repro.workloads.cnf import random_k_cnf
+
+
+def table_size(bags) -> int:
+    return sum(2 ** len(b) for b in bags)
+
+
+def main() -> None:
+    # A clause/variable ratio high enough for a connected primal graph.
+    formula = random_k_cnf(num_vars=16, num_clauses=24, k=3, seed=5)
+    primal = formula.primal_graph()
+    if not primal.is_connected():  # count per component in general
+        raise SystemExit("sampled formula disconnected; pick another seed")
+    print(
+        f"3-CNF: {formula.num_vars} vars, {len(formula.clauses)} clauses; "
+        f"primal graph |V|={primal.num_vertices()} |E|={primal.num_edges()}"
+    )
+
+    print("\n=== ranked by Σ 2^|bag| (the #SAT DP cost) ===")
+    best_sum = None
+    for result in itertools.islice(
+        ranked_triangulations(primal, SumExpBagCost(2.0)), 5
+    ):
+        size = table_size(result.triangulation.bags)
+        best_sum = size if best_sum is None else min(best_sum, size)
+        print(
+            f"  #{result.rank}: tables={size:6d}  "
+            f"width={result.triangulation.width}"
+        )
+
+    print("\n=== ranked by width (for contrast) ===")
+    width_first = None
+    for result in itertools.islice(
+        ranked_triangulations(primal, WidthCost()), 5
+    ):
+        size = table_size(result.triangulation.bags)
+        width_first = size if width_first is None else width_first
+        print(
+            f"  #{result.rank}: width={result.triangulation.width}  "
+            f"tables={size:6d}"
+        )
+
+    assert best_sum is not None and width_first is not None
+    print(
+        f"\nDP tables: {best_sum} cells (Σ2^|b|-optimal) vs "
+        f"{width_first} for the first width-optimal result "
+        f"({width_first / best_sum:.2f}x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""repro — Ranked Enumeration of Minimal Triangulations (PODS 2019).
+
+A from-scratch reproduction of Ravid, Medini and Kimelfeld's system for
+enumerating the minimal triangulations (equivalently, the proper tree
+decompositions) of a graph by increasing cost, for any split-monotone bag
+cost function, with polynomial delay under the poly-MS assumption or a
+constant width bound.
+
+Quick start::
+
+    from repro import Graph, WidthCost, ranked_triangulations
+
+    g = Graph(edges=[(0, 1), (1, 2), (2, 3), (3, 0), (0, 4)])
+    for result in ranked_triangulations(g, WidthCost()):
+        print(result.cost, sorted(map(sorted, result.triangulation.bags)))
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+reproduced evaluation.
+"""
+
+from .graphs import Graph
+from .costs import (
+    BagCost,
+    ConstrainedCost,
+    FillInCost,
+    FractionalHypertreeWidthCost,
+    Hypergraph,
+    HypertreeWidthCost,
+    LexWidthFillCost,
+    SumExpBagCost,
+    WeightedFillCost,
+    WeightedWidthCost,
+    WidthCost,
+    make_cost,
+)
+from .core import (
+    RankedDecomposition,
+    RankedResult,
+    Triangulation,
+    TreeDecomposition,
+    TriangulationContext,
+    clique_trees,
+    diverse_top_k,
+    min_triangulation,
+    minimum_fill_in,
+    ranked_tree_decompositions,
+    ranked_triangulations,
+    top_k_tree_decompositions,
+    top_k_triangulations,
+    treewidth,
+    triangulation_distance,
+)
+from .hypertree import (
+    GeneralizedHypertreeDecomposition,
+    ghd_from_tree_decomposition,
+    minimum_ghd,
+    ranked_ghds,
+)
+from .baselines import ckk_enumeration
+from .separators import minimal_separators, SeparatorLimitExceeded
+from .pmc import potential_maximal_cliques
+from .triangulation import lb_triang, mcs_m
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "BagCost",
+    "WidthCost",
+    "FillInCost",
+    "LexWidthFillCost",
+    "SumExpBagCost",
+    "WeightedWidthCost",
+    "WeightedFillCost",
+    "Hypergraph",
+    "HypertreeWidthCost",
+    "FractionalHypertreeWidthCost",
+    "ConstrainedCost",
+    "make_cost",
+    "TriangulationContext",
+    "Triangulation",
+    "TreeDecomposition",
+    "RankedResult",
+    "RankedDecomposition",
+    "min_triangulation",
+    "ranked_triangulations",
+    "top_k_triangulations",
+    "ranked_tree_decompositions",
+    "top_k_tree_decompositions",
+    "clique_trees",
+    "treewidth",
+    "minimum_fill_in",
+    "diverse_top_k",
+    "triangulation_distance",
+    "GeneralizedHypertreeDecomposition",
+    "ghd_from_tree_decomposition",
+    "minimum_ghd",
+    "ranked_ghds",
+    "ckk_enumeration",
+    "minimal_separators",
+    "SeparatorLimitExceeded",
+    "potential_maximal_cliques",
+    "lb_triang",
+    "mcs_m",
+    "__version__",
+]

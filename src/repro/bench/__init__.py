@@ -1,0 +1,36 @@
+"""Benchmark harness: budgets, metrics, reporting, experiment drivers."""
+
+from .harness import (
+    MS_TERMINATED,
+    NOT_TERMINATED,
+    TERMINATED,
+    TimedResult,
+    TimedRun,
+    TractabilityProbe,
+    probe_tractability,
+    run_with_budget,
+)
+from .metrics import RunMetrics, aggregate_metrics, compute_metrics, relative_percent
+from .reporting import ascii_series, format_table, format_value, results_dir, save_report
+from . import experiments
+
+__all__ = [
+    "MS_TERMINATED",
+    "NOT_TERMINATED",
+    "TERMINATED",
+    "TimedResult",
+    "TimedRun",
+    "TractabilityProbe",
+    "probe_tractability",
+    "run_with_budget",
+    "RunMetrics",
+    "aggregate_metrics",
+    "compute_metrics",
+    "relative_percent",
+    "ascii_series",
+    "format_table",
+    "format_value",
+    "results_dir",
+    "save_report",
+    "experiments",
+]

@@ -1,0 +1,126 @@
+"""Metrics for the enumeration comparisons (the Table 2 columns).
+
+Given the trace of a time-budgeted run, compute the quantities the paper
+reports per dataset and algorithm: result count, initialization time,
+average delay with and without initialization, best width/fill found, the
+number of optimal results, and the number of near-optimal (within 10%)
+results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .harness import TimedRun
+
+__all__ = ["RunMetrics", "compute_metrics", "aggregate_metrics", "relative_percent"]
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Table 2 row fragment for one (graph, algorithm) run."""
+
+    algorithm: str
+    graph_name: str
+    count: int
+    init_seconds: float
+    delay: float
+    delay_no_init: float
+    min_width: int | None
+    num_min_width: int
+    num_near_width: int  # width <= 1.1 * min_width
+    min_fill: int | None
+    num_min_fill: int
+    num_near_fill: int  # fill <= 1.1 * min_fill
+    failed: bool
+
+
+def compute_metrics(run: TimedRun) -> RunMetrics:
+    """Reduce a run trace to its Table 2 metrics.
+
+    Delay is total elapsed time over result count (the paper's "average
+    delay between returned results"); the no-init variant subtracts the
+    shared initialization.  Near-optimality uses the paper's 1.1 factor
+    against the best value *this run* found.
+    """
+    if run.failed or not run.results:
+        return RunMetrics(
+            algorithm=run.algorithm,
+            graph_name=run.graph_name,
+            count=0,
+            init_seconds=run.init_seconds,
+            delay=float("inf"),
+            delay_no_init=float("inf"),
+            min_width=None,
+            num_min_width=0,
+            num_near_width=0,
+            min_fill=None,
+            num_min_fill=0,
+            num_near_fill=0,
+            failed=bool(run.failed),
+        )
+    total = run.results[-1].elapsed_seconds
+    count = len(run.results)
+    widths = [r.width for r in run.results]
+    fills = [r.fill for r in run.results]
+    best_w = min(widths)
+    best_f = min(fills)
+    return RunMetrics(
+        algorithm=run.algorithm,
+        graph_name=run.graph_name,
+        count=count,
+        init_seconds=run.init_seconds,
+        delay=total / count,
+        delay_no_init=max(total - run.init_seconds, 0.0) / count,
+        min_width=best_w,
+        num_min_width=sum(1 for w in widths if w == best_w),
+        num_near_width=sum(1 for w in widths if w <= 1.1 * best_w),
+        min_fill=best_f,
+        num_min_fill=sum(1 for f in fills if f == best_f),
+        num_near_fill=sum(1 for f in fills if f <= 1.1 * best_f),
+        failed=False,
+    )
+
+
+def aggregate_metrics(rows: list[RunMetrics]) -> dict[str, float]:
+    """Dataset-level aggregation: sums for counts, means for times.
+
+    Mirrors how Table 2 reports one row per dataset (counts are totals
+    across graphs; init and delay are averages over graphs that ran).
+    """
+    ran = [r for r in rows if r.count > 0]
+    out: dict[str, float] = {
+        "graphs": float(len(rows)),
+        "graphs_with_results": float(len(ran)),
+        "count": float(sum(r.count for r in rows)),
+        "num_min_width": float(sum(r.num_min_width for r in rows)),
+        "num_near_width": float(sum(r.num_near_width for r in rows)),
+        "num_min_fill": float(sum(r.num_min_fill for r in rows)),
+        "num_near_fill": float(sum(r.num_near_fill for r in rows)),
+    }
+    if ran:
+        out["init"] = sum(r.init_seconds for r in ran) / len(ran)
+        out["delay"] = sum(r.delay for r in ran) / len(ran)
+        out["delay_no_init"] = sum(r.delay_no_init for r in ran) / len(ran)
+        widths = [r.min_width for r in ran if r.min_width is not None]
+        fills = [r.min_fill for r in ran if r.min_fill is not None]
+        out["min_width"] = sum(widths) / len(widths) if widths else float("nan")
+        out["min_fill"] = sum(fills) / len(fills) if fills else float("nan")
+    else:
+        out["init"] = float("nan")
+        out["delay"] = float("inf")
+        out["delay_no_init"] = float("inf")
+        out["min_width"] = float("nan")
+        out["min_fill"] = float("nan")
+    return out
+
+
+def relative_percent(baseline: float, reference: float) -> float:
+    """``100 * baseline / reference`` guarding the zero-reference case.
+
+    Used for the parenthesized percentages of Table 2 (CKK's optimal
+    results relative to RankedTriang's) and the ratio plots of Figure 8.
+    """
+    if reference <= 0:
+        return float("inf") if baseline > 0 else 100.0
+    return 100.0 * baseline / reference

@@ -1,0 +1,271 @@
+"""Command-line interface.
+
+Usage examples::
+
+    python -m repro stats graph.gr
+    python -m repro treewidth graph.gr
+    python -m repro enumerate graph.gr --cost fill --top 5 --diverse 2
+    python -m repro datasets
+    python -m repro experiments figure5 table2
+
+Graphs are read in the PACE ``.gr`` or DIMACS ``.col`` formats.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections.abc import Sequence
+
+from .graphs.io import read_graph
+from .costs.registry import available_costs, make_cost
+from .core.context import TriangulationContext
+from .core.diversity import diverse_top_k
+from .core.exact import minimum_fill_in, treewidth
+from .core.ranked import ranked_triangulations
+from .separators.berry import SeparatorLimitExceeded
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Ranked enumeration of minimal triangulations (PODS 2019)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_stats = sub.add_parser("stats", help="poly-MS statistics of a graph")
+    p_stats.add_argument("graph", help="path to a .gr or .col file")
+    p_stats.add_argument(
+        "--budget", type=float, default=30.0, help="seconds before giving up"
+    )
+
+    p_tw = sub.add_parser("treewidth", help="exact treewidth and fill-in")
+    p_tw.add_argument("graph")
+
+    p_enum = sub.add_parser("enumerate", help="ranked enumeration")
+    p_enum.add_argument("graph")
+    p_enum.add_argument(
+        "--cost",
+        default="width",
+        choices=available_costs(),
+        help="split-monotone bag cost to rank by",
+    )
+    p_enum.add_argument("--top", type=int, default=10, help="results to print")
+    p_enum.add_argument(
+        "--width-bound",
+        type=int,
+        default=None,
+        help="restrict to width <= bound (MinTriangB mode)",
+    )
+    p_enum.add_argument(
+        "--diverse",
+        type=int,
+        default=None,
+        metavar="D",
+        help="keep only results pairwise >= D fill edges apart",
+    )
+
+    p_dec = sub.add_parser(
+        "decompose", help="write an optimal tree decomposition (.td)"
+    )
+    p_dec.add_argument("graph")
+    p_dec.add_argument("output", help="path of the .td file to write")
+    p_dec.add_argument(
+        "--cost", default="width", choices=available_costs(), help="objective"
+    )
+
+    p_val = sub.add_parser(
+        "validate", help="check a .td decomposition against a graph"
+    )
+    p_val.add_argument("graph")
+    p_val.add_argument("decomposition", help="path to the .td file")
+    p_val.add_argument(
+        "--proper",
+        action="store_true",
+        help="additionally require properness (clique tree of a minimal triangulation)",
+    )
+
+    sub.add_parser("datasets", help="list the built-in dataset families")
+
+    p_exp = sub.add_parser("experiments", help="run experiment drivers")
+    p_exp.add_argument(
+        "targets",
+        nargs="+",
+        choices=["figure5", "figure6", "figure7", "table2", "figure8", "figure9", "all"],
+    )
+    p_exp.add_argument("--budget", type=float, default=2.0)
+    return parser
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    graph = read_graph(args.graph)
+    print(f"vertices: {graph.num_vertices()}")
+    print(f"edges:    {graph.num_edges()}")
+    started = time.perf_counter()
+    try:
+        ctx = TriangulationContext.build(graph)
+    except SeparatorLimitExceeded as exc:
+        print(f"initialization failed: {exc}")
+        return 1
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    stats = ctx.stats()
+    print(f"minimal separators: {stats['minimal_separators']:.0f}")
+    print(f"potential maximal cliques: {stats['pmcs']:.0f}")
+    print(f"full blocks: {stats['full_blocks']:.0f}")
+    print(f"initialization: {time.perf_counter() - started:.2f}s")
+    return 0
+
+
+def _cmd_treewidth(args: argparse.Namespace) -> int:
+    graph = read_graph(args.graph)
+    ctx = None
+    if graph.num_vertices() and graph.is_connected():
+        ctx = TriangulationContext.build(graph)
+    print(f"treewidth: {treewidth(graph, context=ctx)}")
+    print(f"minimum fill-in: {minimum_fill_in(graph, context=ctx)}")
+    return 0
+
+
+def _cmd_enumerate(args: argparse.Namespace) -> int:
+    graph = read_graph(args.graph)
+    cost = make_cost(args.cost, graph)
+    if args.diverse is not None:
+        results = diverse_top_k(
+            graph, cost, k=args.top, min_distance=args.diverse
+        )
+        for i, tri in enumerate(results):
+            print(
+                f"#{i}: cost={cost.evaluate(graph, tri.bags)} width={tri.width} "
+                f"fill={tri.fill_in()}"
+            )
+        return 0
+    stream = ranked_triangulations(graph, cost, width_bound=args.width_bound)
+    emitted = 0
+    for result in stream:
+        tri = result.triangulation
+        bags = sorted(sorted(map(str, b)) for b in tri.bags)
+        print(f"#{result.rank}: cost={result.cost} width={tri.width} bags={bags}")
+        emitted += 1
+        if emitted >= args.top:
+            break
+    if emitted == 0:
+        print("(no feasible triangulation)")
+    return 0
+
+
+def _cmd_decompose(args: argparse.Namespace) -> int:
+    from .core.decomposition import TreeDecomposition
+    from .core.mintriang import min_triangulation
+    from .graphs.td_io import write_td
+
+    graph = read_graph(args.graph)
+    cost = make_cost(args.cost, graph)
+    result = min_triangulation(graph, cost)
+    assert result is not None
+    td = TreeDecomposition.from_bags(result.bags)
+    write_td(td, args.output, graph)
+    print(
+        f"wrote {args.output}: {len(td)} bags, width {td.width}, "
+        f"{args.cost} cost {result.cost}"
+    )
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .graphs.td_io import read_td
+
+    graph = read_graph(args.graph)
+    td = read_td(args.decomposition)
+    if not td.is_valid(graph):
+        print("INVALID: tree-decomposition axioms violated")
+        return 1
+    print(f"valid tree decomposition, width {td.width}")
+    if args.proper:
+        if not td.is_proper(graph):
+            print("NOT PROPER: strictly subsumed by another decomposition")
+            return 1
+        print("proper (clique tree of a minimal triangulation)")
+    return 0
+
+
+def _cmd_datasets(_args: argparse.Namespace) -> int:
+    from .workloads.registry import DATASETS, dataset
+
+    for name in DATASETS:
+        instances = dataset(name)
+        sizes = [g.num_vertices() for _n, g in instances]
+        print(
+            f"{name:18s} {len(instances):3d} graphs, "
+            f"|V| in [{min(sizes)}, {max(sizes)}]"
+        )
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from .bench import experiments
+    from .bench.reporting import format_table, save_report
+
+    targets = set(args.targets)
+    if "all" in targets:
+        targets = {"figure5", "figure6", "figure7", "table2", "figure8", "figure9"}
+    probes = None
+    if {"figure5", "figure6"} & targets:
+        summary, probes = experiments.figure5()
+        if "figure5" in targets:
+            text = format_table(summary, title="Figure 5")
+            print(text)
+            save_report("figure5", summary, text)
+    if "figure6" in targets and probes is not None:
+        points = experiments.figure6(probes)
+        text = format_table(points, title="Figure 6")
+        print(text)
+        save_report("figure6", points, text)
+    if "figure7" in targets:
+        rows = experiments.figure7(budget=args.budget)
+        text = format_table(rows, title="Figure 7")
+        print(text)
+        save_report("figure7", rows, text)
+    if "table2" in targets:
+        rows = experiments.table2(budget=args.budget)
+        text = format_table(rows, title="Table 2")
+        print(text)
+        save_report("table2", rows, text)
+    if "figure8" in targets:
+        rows = experiments.figure8(budget=args.budget)
+        text = format_table(rows, title="Figure 8")
+        print(text)
+        save_report("figure8", rows, text)
+    if "figure9" in targets:
+        rows = experiments.figure9(budget=max(4.0, 2 * args.budget))
+        text = format_table(rows, title="Figure 9")
+        print(text)
+        save_report("figure9", rows, text)
+    return 0
+
+
+_COMMANDS = {
+    "stats": _cmd_stats,
+    "treewidth": _cmd_treewidth,
+    "enumerate": _cmd_enumerate,
+    "decompose": _cmd_decompose,
+    "validate": _cmd_validate,
+    "datasets": _cmd_datasets,
+    "experiments": _cmd_experiments,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,202 @@
+"""Shared initialization for the triangulation algorithms.
+
+Lines 1–2 of ``MinTriang`` (Figure 3) — computing ``MinSep(G)``,
+``PMC(G)`` and the full blocks — dominate the running time and are
+independent of the cost function and of any Lawler–Murty constraints.  The
+paper therefore computes them **once** per input graph and shares them
+across the many ``MinTriang⟨κ[I,X]⟩`` invocations of ``RankedTriang``
+(Section 7.1, "initialization step").  :class:`TriangulationContext` is
+that shared state, plus the block → candidate-PMC index that makes the DP
+loop efficient.
+
+The index construction uses the fact recorded in Section 5.1: the minimal
+separators contained in a PMC ``Ω`` are exactly the ones *associated* to it
+(neighborhoods of the components of ``G \\ Ω``), so
+``Ω ∈ PMC(S, C)  ⟺  S ∈ MinSep_G(Ω) and C ⊇ Ω \\ S``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..graphs.graph import Graph, Vertex
+from ..separators.berry import minimal_separators
+from ..separators.blocks import Block, full_blocks_of_separator
+from ..separators.crossing import SeparatorFamily
+from ..pmc.enumerate import potential_maximal_cliques
+from ..pmc.predicate import minseps_of_pmc
+
+Separator = frozenset[Vertex]
+PMC = frozenset[Vertex]
+
+__all__ = ["TriangulationContext"]
+
+
+@dataclass
+class TriangulationContext:
+    """Precomputed separators, PMCs, full blocks and indexes for one graph.
+
+    Build with :meth:`TriangulationContext.build`; all triangulation
+    algorithms accept a prebuilt context to share the initialization.
+
+    Attributes
+    ----------
+    graph:
+        The (connected) input graph.
+    separators:
+        ``MinSep(G)``, possibly restricted to ``|S| ≤ width_bound``.
+    pmcs:
+        ``PMC(G)``, possibly restricted to ``|Ω| ≤ width_bound + 1``.
+    blocks:
+        The full blocks over ``separators``, ascending by ``|S ∪ C|``.
+    pmc_index:
+        For each full block, the candidate PMCs ``{Ω : S ⊂ Ω ⊆ S ∪ C}``.
+    family:
+        Crossing-relation cache over ``separators``.
+    width_bound:
+        The bound ``b`` of ``MinTriangB`` or ``None`` (Section 5.3).
+    init_seconds:
+        Wall-clock time of the initialization (reported as ``init`` in
+        Table 2).
+    """
+
+    graph: Graph
+    separators: set[Separator]
+    pmcs: set[PMC]
+    blocks: list[Block]
+    pmc_index: dict[Block, list[PMC]]
+    family: SeparatorFamily
+    width_bound: int | None = None
+    init_seconds: float = 0.0
+    _block_subgraphs: dict[Block, Graph] = field(default_factory=dict, repr=False)
+    _children_cache: dict[tuple[Block | None, PMC], tuple[Block, ...]] = field(
+        default_factory=dict, repr=False
+    )
+
+    @staticmethod
+    def build(
+        graph: Graph,
+        separators: set[Separator] | None = None,
+        pmcs: set[PMC] | None = None,
+        width_bound: int | None = None,
+        separator_limit: int | None = None,
+        pmc_limit: int | None = None,
+    ) -> "TriangulationContext":
+        """Run the initialization step for ``graph``.
+
+        Parameters
+        ----------
+        graph:
+            A connected graph (the block/PMC machinery of the paper assumes
+            connectivity; decompose disconnected inputs first).
+        separators, pmcs:
+            Precomputed sets, if available.
+        width_bound:
+            If given, keep only separators of size ≤ bound and PMCs of size
+            ≤ bound + 1 — the ``MinTriangB⟨b,κ⟩`` restriction.  (We filter
+            after enumeration; a from-scratch bounded enumeration would
+            strengthen the FPT guarantee but not change the output.)
+        separator_limit, pmc_limit:
+            Budgets forwarded to the enumerators; exceeding one raises
+            :class:`~repro.separators.berry.SeparatorLimitExceeded`.  This
+            is how the experiment harness detects poly-MS violations.
+        """
+        started = time.perf_counter()
+        if graph.num_vertices() and not graph.is_connected():
+            raise ValueError(
+                "TriangulationContext requires a connected graph; "
+                "split the input into components first"
+            )
+        if separators is None:
+            separators = minimal_separators(graph, limit=separator_limit)
+        if pmcs is None:
+            pmcs = potential_maximal_cliques(
+                graph, separators=separators, budget=pmc_limit
+            )
+        if width_bound is not None:
+            separators = {s for s in separators if len(s) <= width_bound}
+            pmcs = {om for om in pmcs if len(om) <= width_bound + 1}
+
+        family = SeparatorFamily(graph, separators)
+        blocks: list[Block] = []
+        for s in separators:
+            blocks.extend(full_blocks_of_separator(graph, s))
+        blocks.sort(key=len)
+
+        block_set = set(blocks)
+        pmc_index: dict[Block, list[PMC]] = {b: [] for b in blocks}
+        for om in pmcs:
+            for s in minseps_of_pmc(graph, om):
+                if s not in separators:
+                    # Only possible under a width bound: the separator was
+                    # filtered out, so blocks over it are not in the DP.
+                    continue
+                rest = om - s
+                anchor = next(iter(rest))
+                component = frozenset(graph.component_of(anchor, removed=s))
+                block = Block(s, component)
+                if block in block_set:
+                    pmc_index[block].append(om)
+
+        return TriangulationContext(
+            graph=graph,
+            separators=separators,
+            pmcs=pmcs,
+            blocks=blocks,
+            pmc_index=pmc_index,
+            family=family,
+            width_bound=width_bound,
+            init_seconds=time.perf_counter() - started,
+        )
+
+    def block_subgraph(self, block: Block) -> Graph:
+        """``G[S ∪ C]`` for a block, cached (the κ-evaluation graph)."""
+        cached = self._block_subgraphs.get(block)
+        if cached is None:
+            cached = self.graph.subgraph(block.vertices)
+            self._block_subgraphs[block] = cached
+        return cached
+
+    def children_of(self, block: Block | None, omega: PMC) -> tuple[Block, ...]:
+        """The sub-blocks of PMC ``omega`` inside ``block`` (``None`` = whole
+        graph): components of ``region \\ Ω`` with their neighborhoods.
+
+        Depends only on the graph structure — not on the cost function or
+        Lawler–Murty constraints — so it is cached across the many
+        constrained DP runs of the ranked enumerator.
+        """
+        key = (block, omega)
+        cached = self._children_cache.get(key)
+        if cached is None:
+            graph = self.graph
+            region = block.vertices if block is not None else graph.vertex_set()
+            children = []
+            remaining = set(region - omega)
+            while remaining:
+                start = remaining.pop()
+                comp = {start}
+                queue = [start]
+                while queue:
+                    u = queue.pop()
+                    for w in graph.adj(u):
+                        if w in remaining:
+                            remaining.discard(w)
+                            comp.add(w)
+                            queue.append(w)
+                separator = frozenset(graph.neighborhood_of_set(comp))
+                children.append(Block(separator, frozenset(comp)))
+            cached = tuple(children)
+            self._children_cache[key] = cached
+        return cached
+
+    def stats(self) -> dict[str, float]:
+        """Summary counters for benchmark reports."""
+        return {
+            "vertices": self.graph.num_vertices(),
+            "edges": self.graph.num_edges(),
+            "minimal_separators": len(self.separators),
+            "pmcs": len(self.pmcs),
+            "full_blocks": len(self.blocks),
+            "init_seconds": self.init_seconds,
+        }

@@ -1,0 +1,74 @@
+"""Exact graph measures via the Bouchitté–Todinca machinery.
+
+Convenience facade over ``MinTriang``: exact treewidth, minimum fill-in,
+and their weighted variants, valid whenever the poly-MS pipeline completes
+on the input (the measures themselves are NP-hard in general, so budgets
+are forwarded).  These are the quantities the paper's Theorem 4.3 / 4.4
+machinery computes as its ``k = 1`` special case.
+"""
+
+from __future__ import annotations
+
+from ..graphs.graph import Graph
+from ..costs.classic import FillInCost, WidthCost
+from ..costs.weighted import WeightedFillCost, WeightedWidthCost
+from .context import TriangulationContext
+from .mintriang import Triangulation, min_triangulation
+
+__all__ = [
+    "treewidth",
+    "minimum_fill_in",
+    "weighted_treewidth",
+    "weighted_minimum_fill_in",
+]
+
+
+def treewidth(
+    graph: Graph,
+    context: TriangulationContext | None = None,
+) -> int:
+    """The exact treewidth of ``graph``.
+
+    Computed as the width of a minimum-width minimal triangulation
+    (Bouchitté–Todinca).  Works on disconnected graphs (max over
+    components).  The empty graph has treewidth −1 by convention.
+    """
+    result = min_triangulation(graph, WidthCost(), context=context)
+    assert result is not None  # unbounded optimization always succeeds
+    return int(result.width)
+
+
+def minimum_fill_in(
+    graph: Graph,
+    context: TriangulationContext | None = None,
+) -> int:
+    """The exact minimum fill-in (chordal completion number) of ``graph``."""
+    result = min_triangulation(graph, FillInCost(), context=context)
+    assert result is not None
+    return int(result.cost)
+
+
+def weighted_treewidth(
+    graph: Graph,
+    bag_weight,
+    context: TriangulationContext | None = None,
+) -> tuple[float, Triangulation]:
+    """Minimum over triangulations of the maximum bag weight.
+
+    ``bag_weight`` must be monotone under bag inclusion (Furuse–Yamazaki);
+    returns the optimum value together with a witnessing triangulation.
+    """
+    result = min_triangulation(graph, WeightedWidthCost(bag_weight), context=context)
+    assert result is not None
+    return float(result.cost), result
+
+
+def weighted_minimum_fill_in(
+    graph: Graph,
+    edge_weight,
+    context: TriangulationContext | None = None,
+) -> tuple[float, Triangulation]:
+    """Minimum total weight of fill edges over minimal triangulations."""
+    result = min_triangulation(graph, WeightedFillCost(edge_weight), context=context)
+    assert result is not None
+    return float(result.cost), result

@@ -1,0 +1,94 @@
+"""Ranked enumeration of proper tree decompositions (Proposition 6.1).
+
+The proper tree decompositions of ``G`` are the clique trees of its minimal
+triangulations (Theorem 2.2), distinct triangulations having disjoint
+clique-tree sets.  Since a bag cost gives every clique tree of one
+triangulation the same value, enumerating triangulations by increasing
+cost and expanding each into its clique trees enumerates the proper tree
+decompositions by increasing cost, preserving polynomial delay.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from ..graphs.graph import Graph
+from ..costs.base import BagCost
+from .context import TriangulationContext
+from .decomposition import TreeDecomposition
+from .mintriang import Triangulation
+from .ranked import ranked_triangulations
+from .spanning import clique_trees
+
+__all__ = ["RankedDecomposition", "ranked_tree_decompositions", "top_k_tree_decompositions"]
+
+
+@dataclass(frozen=True)
+class RankedDecomposition:
+    """A proper tree decomposition with its cost and provenance."""
+
+    decomposition: TreeDecomposition
+    cost: float
+    triangulation: Triangulation
+    rank: int
+
+
+def ranked_tree_decompositions(
+    graph: Graph,
+    cost: BagCost,
+    context: TriangulationContext | None = None,
+    width_bound: int | None = None,
+    per_triangulation: int | None = None,
+) -> Iterator[RankedDecomposition]:
+    """Enumerate proper tree decompositions of ``graph`` by increasing cost.
+
+    Parameters
+    ----------
+    graph, cost, context, width_bound:
+        As in :func:`~repro.core.ranked.ranked_triangulations`.
+    per_triangulation:
+        Optional cap on the number of clique trees expanded per
+        triangulation (a single triangulation can have exponentially many
+        clique trees; applications often want bag-distinct results only,
+        i.e. ``per_triangulation=1``).
+    """
+    rank = 0
+    for result in ranked_triangulations(
+        graph, cost, context=context, width_bound=width_bound
+    ):
+        trees = clique_trees(result.triangulation.chordal_graph)
+        if per_triangulation is not None:
+            trees = itertools.islice(trees, per_triangulation)
+        for td in trees:
+            yield RankedDecomposition(
+                decomposition=td,
+                cost=result.cost,
+                triangulation=result.triangulation,
+                rank=rank,
+            )
+            rank += 1
+
+
+def top_k_tree_decompositions(
+    graph: Graph,
+    cost: BagCost,
+    k: int,
+    context: TriangulationContext | None = None,
+    width_bound: int | None = None,
+    per_triangulation: int | None = None,
+) -> list[RankedDecomposition]:
+    """The ``k`` cheapest proper tree decompositions (fewer if exhausted)."""
+    return list(
+        itertools.islice(
+            ranked_tree_decompositions(
+                graph,
+                cost,
+                context=context,
+                width_bound=width_bound,
+                per_triangulation=per_triangulation,
+            ),
+            k,
+        )
+    )

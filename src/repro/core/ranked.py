@@ -1,0 +1,179 @@
+"""``RankedTriang⟨κ⟩(G)``: ranked enumeration of minimal triangulations
+(Figure 4 of the paper).
+
+Lawler–Murty partitioning over the space of minimal triangulations, each
+identified with its maximal set of pairwise-parallel minimal separators
+(Parra–Scheffler).  A partition is an inclusion/exclusion constraint pair
+``[I, X]`` over minimal separators, represented in the priority queue by
+its minimum-cost member, found by ``MinTriang⟨κ[I,X]⟩`` with the
+constraints compiled into the cost (Section 6.1).
+
+Popping the minimum-cost partition emits its representative ``H`` and
+splits the remainder of the partition: with ``MinSep(H) \\ I = {S_1..S_k}``
+the children are ``[I ∪ {S_1..S_{i-1}}, X ∪ {S_i}]`` for ``i = 1..k``.
+(The paper's pseudocode writes the loop bound as ``k − 1``; the partition
+argument in the text requires covering the branch that excludes ``S_k``
+while including the rest, so we run the loop through ``k`` — with ``k-1``
+the enumeration demonstrably misses answers on small graphs, see
+``tests/core/test_ranked.py::test_partition_loop_covers_all_answers``.)
+
+The initialization (separators, PMCs, blocks) is shared across all
+``MinTriang`` invocations, as in the paper's implementation (Section 7.1).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from ..graphs.graph import Graph, Vertex
+from ..costs.base import BagCost, INFEASIBLE
+from ..costs.constrained import ConstrainedCost
+from .context import TriangulationContext
+from .mintriang import Triangulation, min_triangulation_and_table
+
+Separator = frozenset[Vertex]
+
+__all__ = ["RankedResult", "ranked_triangulations", "top_k_triangulations"]
+
+
+@dataclass(frozen=True)
+class RankedResult:
+    """One enumerated triangulation plus enumeration metadata.
+
+    Attributes
+    ----------
+    triangulation:
+        The emitted minimal triangulation.
+    rank:
+        0-based position in the output sequence.
+    elapsed_seconds:
+        Wall-clock time from the start of enumeration (init included) to
+        the emission of this result — the quantity behind the ``delay``
+        columns of Table 2.
+    include, exclude:
+        The constraint pair of the partition this result represented.
+    """
+
+    triangulation: Triangulation
+    rank: int
+    elapsed_seconds: float
+    include: frozenset[Separator]
+    exclude: frozenset[Separator]
+
+    @property
+    def cost(self) -> float:
+        return self.triangulation.cost
+
+
+def ranked_triangulations(
+    graph: Graph,
+    cost: BagCost,
+    context: TriangulationContext | None = None,
+    width_bound: int | None = None,
+) -> Iterator[RankedResult]:
+    """Enumerate the minimal triangulations of ``graph`` by increasing ``κ``.
+
+    Parameters
+    ----------
+    graph:
+        A connected graph.  (Ranked enumeration over a disconnected graph
+        would be a ranked cross-product over components; decompose first.)
+    cost:
+        A polynomial-time-computable split-monotone bag cost.
+    context:
+        Optional prebuilt shared initialization.
+    width_bound:
+        If given, enumerate only triangulations of width ≤ bound — the
+        ``MinTriangB``-backed variant of Theorem 4.5, which does not need
+        the poly-MS assumption.
+
+    Yields
+    ------
+    :class:`RankedResult` in non-decreasing cost order; the sequence is
+    complete and duplicate-free.
+    """
+    started = time.perf_counter()
+    if graph.num_vertices() == 0:
+        return
+    if not graph.is_connected():
+        raise ValueError(
+            "ranked enumeration requires a connected graph; "
+            "enumerate per component instead"
+        )
+    if context is None:
+        context = TriangulationContext.build(graph, width_bound=width_bound)
+
+    first, base_table = min_triangulation_and_table(context, cost)
+    if first is None:
+        return
+
+    counter = itertools.count()  # heap tiebreak: FIFO among equal costs
+    heap: list[tuple[float, int, Triangulation, frozenset, frozenset]] = []
+    heapq.heappush(
+        heap, (first.cost, next(counter), first, frozenset(), frozenset())
+    )
+    rank = 0
+    while heap:
+        value, _, current, include, exclude = heapq.heappop(heap)
+        yield RankedResult(
+            triangulation=current,
+            rank=rank,
+            elapsed_seconds=time.perf_counter() - started,
+            include=include,
+            exclude=exclude,
+        )
+        rank += 1
+
+        free = sorted(
+            current.minimal_separators - include,
+            key=lambda s: tuple(sorted(map(repr, s))),
+        )
+        accumulated: list[Separator] = []
+        for pivot in free:
+            child_include = include | frozenset(accumulated)
+            child_exclude = exclude | {pivot}
+            constrained = ConstrainedCost(
+                cost, include=child_include, exclude=child_exclude
+            )
+            candidate, _table = min_triangulation_and_table(
+                context,
+                constrained,
+                reusable_table=base_table,
+                constraint_separators=child_include | child_exclude,
+            )
+            if candidate is not None and candidate.cost < INFEASIBLE:
+                # Strip the constraint wrapper: report the base cost.
+                base_value = cost.evaluate(candidate.graph, candidate.bags)
+                reported = Triangulation(
+                    candidate.graph, candidate.bags, base_value
+                )
+                heapq.heappush(
+                    heap,
+                    (
+                        base_value,
+                        next(counter),
+                        reported,
+                        child_include,
+                        child_exclude,
+                    ),
+                )
+            accumulated.append(pivot)
+
+
+def top_k_triangulations(
+    graph: Graph,
+    cost: BagCost,
+    k: int,
+    context: TriangulationContext | None = None,
+    width_bound: int | None = None,
+) -> list[Triangulation]:
+    """The ``k`` cheapest minimal triangulations (fewer if exhausted)."""
+    results = itertools.islice(
+        ranked_triangulations(graph, cost, context=context, width_bound=width_bound),
+        k,
+    )
+    return [r.triangulation for r in results]

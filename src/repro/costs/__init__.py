@@ -1,0 +1,49 @@
+"""Split-monotone bag cost functions (Section 3 of the paper)."""
+
+from .base import Bag, BagCost, INFEASIBLE
+from .classic import (
+    FillInCost,
+    LexWidthFillCost,
+    SumExpBagCost,
+    WidthCost,
+    count_fill_edges,
+)
+from .weighted import WeightedFillCost, WeightedWidthCost, vertex_weight_bag_cost
+from .hypergraph import (
+    FractionalHypertreeWidthCost,
+    Hypergraph,
+    HypertreeWidthCost,
+    fractional_cover_weight,
+    minimum_edge_cover_size,
+)
+from .constrained import (
+    ConstrainedCost,
+    is_clique_after_saturation,
+    satisfies_constraints,
+)
+from .registry import available_costs, make_cost, register_cost
+
+__all__ = [
+    "Bag",
+    "BagCost",
+    "INFEASIBLE",
+    "WidthCost",
+    "FillInCost",
+    "LexWidthFillCost",
+    "SumExpBagCost",
+    "count_fill_edges",
+    "WeightedWidthCost",
+    "WeightedFillCost",
+    "vertex_weight_bag_cost",
+    "Hypergraph",
+    "HypertreeWidthCost",
+    "FractionalHypertreeWidthCost",
+    "minimum_edge_cover_size",
+    "fractional_cover_weight",
+    "ConstrainedCost",
+    "is_clique_after_saturation",
+    "satisfies_constraints",
+    "available_costs",
+    "make_cost",
+    "register_cost",
+]

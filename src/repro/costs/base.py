@@ -1,0 +1,77 @@
+"""The split-monotone bag cost interface (Section 3 of the paper).
+
+A *cost function over tree decompositions* maps ``(G, T)`` to a number.
+The paper restricts attention to costs that are
+
+1. **invariant under bag equivalence** — they depend only on ``bags(T)``,
+   hence the interface below takes the bag set, not a tree; and
+2. **split monotone** — cutting a decomposition along an edge and replacing
+   one side with a no-more-expensive alternative never increases the cost
+   (Definition 3.2).
+
+Split monotonicity is a *semantic contract* the implementations promise;
+it cannot be checked locally, but the test suite probes it empirically on
+random instances (see ``tests/costs/test_split_monotone.py``).
+
+Because bag costs are invariant under bag equivalence, evaluating a cost on
+a triangulation ``H`` means evaluating it on ``MaxClq(H)`` — any clique
+tree gives the same value.  :meth:`BagCost.of_triangulation` does this.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from collections.abc import Collection
+
+from ..graphs.graph import Graph, Vertex
+from ..graphs.chordal import maximal_cliques_chordal
+
+Bag = frozenset[Vertex]
+
+INFEASIBLE = math.inf
+"""Cost of a forbidden decomposition (constraint violations, width bounds)."""
+
+__all__ = ["Bag", "BagCost", "INFEASIBLE"]
+
+
+class BagCost(ABC):
+    """A split-monotone, bag-equivalence-invariant cost function.
+
+    Subclasses implement :meth:`evaluate`; all other conveniences derive
+    from it.  Implementations must be pure (no dependence on evaluation
+    order) — the block DP calls them on partial triangulations of block
+    realizations in an order of its choosing.
+    """
+
+    #: Human-readable identifier used in benchmark reports.
+    name: str = "cost"
+
+    #: Declared by subclasses; the enumeration guarantees of Theorems 4.4
+    #: and 4.5 only hold when this is True.
+    split_monotone: bool = True
+
+    @abstractmethod
+    def evaluate(self, graph: Graph, bags: Collection[Bag]) -> float:
+        """``κ(G, T)`` for any tree decomposition ``T`` with these bags.
+
+        Parameters
+        ----------
+        graph:
+            The graph being decomposed.  During the block DP this is an
+            *induced subgraph* ``G[S ∪ C]`` of the original input, matching
+            line 4 of the ``MinTriang`` pseudocode.
+        bags:
+            The bag set of the decomposition (for minimal triangulations:
+            the maximal cliques).
+        """
+
+    def of_triangulation(self, graph: Graph, triangulation: Graph) -> float:
+        """``κ(G, H)``: the cost of a triangulation via its maximal cliques."""
+        return self.evaluate(graph, maximal_cliques_chordal(triangulation))
+
+    def __call__(self, graph: Graph, bags: Collection[Bag]) -> float:
+        return self.evaluate(graph, bags)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"

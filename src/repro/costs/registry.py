@@ -1,0 +1,50 @@
+"""Name-based construction of the built-in cost functions.
+
+Benchmarks and examples refer to costs by name (``"width"``, ``"fill"``,
+...); this registry maps names to factories.  Factories receive the graph
+so graph-dependent costs (like the lexicographic scale) can initialize.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..graphs.graph import Graph
+from .base import BagCost
+from .classic import FillInCost, LexWidthFillCost, SumExpBagCost, WidthCost
+
+__all__ = ["make_cost", "available_costs", "register_cost"]
+
+_FACTORIES: dict[str, Callable[[Graph], BagCost]] = {
+    "width": lambda graph: WidthCost(),
+    "fill": lambda graph: FillInCost(),
+    "lex-width-fill": lambda graph: LexWidthFillCost(graph),
+    "sum-exp-bags": lambda graph: SumExpBagCost(),
+}
+
+
+def register_cost(name: str, factory: Callable[[Graph], BagCost]) -> None:
+    """Register a custom cost factory under ``name`` (overwrites)."""
+    _FACTORIES[name] = factory
+
+
+def available_costs() -> list[str]:
+    """The registered cost names."""
+    return sorted(_FACTORIES)
+
+
+def make_cost(name: str, graph: Graph) -> BagCost:
+    """Instantiate the named cost for ``graph``.
+
+    Raises
+    ------
+    KeyError
+        If ``name`` is not registered.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown cost {name!r}; available: {', '.join(available_costs())}"
+        ) from None
+    return factory(graph)

@@ -1,0 +1,176 @@
+"""Chordal-graph machinery: MCS, perfect elimination orders, chordality.
+
+Implements the classic linear-time tools the triangulation algorithms build
+on:
+
+* :func:`maximum_cardinality_search` — the MCS vertex ordering of Tarjan and
+  Yannakakis (1984).
+* :func:`is_perfect_elimination_order` — the Tarjan–Yannakakis test that an
+  ordering is a perfect elimination order (PEO).
+* :func:`is_chordal` — chordality via MCS + PEO test.
+* :func:`maximal_cliques_chordal` — the maximal cliques of a chordal graph
+  from a PEO (Fulkerson–Gross style); a chordal graph on ``n`` vertices has
+  at most ``n`` maximal cliques (Theorem 2.2(2) of the paper).
+* :func:`treewidth_chordal` / :func:`fill_in` — convenience measures.
+"""
+
+from __future__ import annotations
+
+from .graph import Graph, Vertex
+
+__all__ = [
+    "maximum_cardinality_search",
+    "is_perfect_elimination_order",
+    "perfect_elimination_order",
+    "is_chordal",
+    "maximal_cliques_chordal",
+    "treewidth_chordal",
+    "fill_in",
+]
+
+
+def maximum_cardinality_search(
+    graph: Graph, start: Vertex | None = None
+) -> list[Vertex]:
+    """Return an MCS ordering of ``graph`` (first-visited first).
+
+    Maximum cardinality search repeatedly visits an unvisited vertex with the
+    largest number of visited neighbors.  On a chordal graph the *reverse* of
+    the returned order is a perfect elimination order.
+
+    Parameters
+    ----------
+    graph:
+        The graph to order.
+    start:
+        Optional first vertex; defaults to an arbitrary vertex.
+
+    Returns
+    -------
+    list of vertices in visit order (length ``|V|``; works on disconnected
+    graphs too).
+    """
+    n = graph.num_vertices()
+    if n == 0:
+        return []
+    weights: dict[Vertex, int] = {v: 0 for v in graph.vertices}
+    # Bucket queue over weights: buckets[w] is a set of unvisited vertices
+    # with exactly w visited neighbors.
+    buckets: list[set[Vertex]] = [set(weights)]
+    if start is not None:
+        # Force `start` to be picked first by giving it its own top bucket.
+        buckets[0].discard(start)
+        buckets.append({start})
+        weights[start] = 1
+    max_weight = len(buckets) - 1
+    order: list[Vertex] = []
+    visited: set[Vertex] = set()
+    while len(order) < n:
+        while not buckets[max_weight]:
+            max_weight -= 1
+        v = buckets[max_weight].pop()
+        order.append(v)
+        visited.add(v)
+        for u in graph.adj(v):
+            if u in visited:
+                continue
+            w = weights[u]
+            buckets[w].discard(u)
+            weights[u] = w + 1
+            if w + 1 >= len(buckets):
+                buckets.append(set())
+            buckets[w + 1].add(u)
+            if w + 1 > max_weight:
+                max_weight = w + 1
+    return order
+
+
+def is_perfect_elimination_order(graph: Graph, order: list[Vertex]) -> bool:
+    """Test whether ``order`` is a perfect elimination order of ``graph``.
+
+    ``order`` lists vertices in elimination order: ``order[0]`` is eliminated
+    first.  The order is perfect iff for every vertex ``v`` the neighbors of
+    ``v`` that come *later* in the order form a clique.  Uses the standard
+    Tarjan–Yannakakis "parent check": it suffices that the later neighbors of
+    ``v`` minus the first of them are all adjacent to that first one,
+    checked transitively.
+    """
+    position = {v: i for i, v in enumerate(order)}
+    if len(position) != graph.num_vertices():
+        raise ValueError("order must list every vertex exactly once")
+    for v in order:
+        later = [u for u in graph.adj(v) if position[u] > position[v]]
+        if not later:
+            continue
+        parent = min(later, key=position.__getitem__)
+        parent_adj = graph.adj(parent)
+        for u in later:
+            if u is not parent and u not in parent_adj:
+                return False
+    return True
+
+
+def perfect_elimination_order(graph: Graph) -> list[Vertex] | None:
+    """A perfect elimination order of ``graph``, or ``None`` if not chordal.
+
+    Returned in elimination order (first eliminated first); this is the
+    reverse of the MCS visit order.
+    """
+    order = maximum_cardinality_search(graph)
+    order.reverse()
+    if is_perfect_elimination_order(graph, order):
+        return order
+    return None
+
+
+def is_chordal(graph: Graph) -> bool:
+    """Whether ``graph`` is chordal (every cycle of length > 3 has a chord)."""
+    return perfect_elimination_order(graph) is not None
+
+
+def maximal_cliques_chordal(graph: Graph) -> set[frozenset[Vertex]]:
+    """The maximal cliques ``MaxClq(G)`` of a chordal graph.
+
+    Uses a PEO: the candidate cliques are ``{v} ∪ later-neighbors(v)``; a
+    candidate is maximal unless it is strictly contained in the candidate of
+    an earlier-eliminated neighbor (checked by cardinality along the parent
+    pointers, the Fulkerson–Gross criterion).
+
+    Raises
+    ------
+    ValueError
+        If ``graph`` is not chordal.
+    """
+    order = perfect_elimination_order(graph)
+    if order is None:
+        raise ValueError("graph is not chordal")
+    position = {v: i for i, v in enumerate(order)}
+    cliques: set[frozenset[Vertex]] = set()
+    for v in order:
+        pos_v = position[v]
+        later = {u for u in graph.adj(v) if position[u] > pos_v}
+        candidate = later | {v}
+        # candidate is a clique (PEO property).  It fails to be maximal iff
+        # some vertex u outside it is adjacent to all of it; such a u must be
+        # eliminated before v (a later u would itself belong to candidate),
+        # and being adjacent to v it is an earlier neighbor of v.
+        maximal = True
+        for u in graph.adj(v):
+            if position[u] < pos_v and candidate <= graph.adj(u):
+                maximal = False
+                break
+        if maximal:
+            cliques.add(frozenset(candidate))
+    return cliques
+
+
+def treewidth_chordal(graph: Graph) -> int:
+    """Width of a chordal graph: max clique size minus one (−1 if empty)."""
+    if graph.num_vertices() == 0:
+        return -1
+    return max(len(c) for c in maximal_cliques_chordal(graph)) - 1
+
+
+def fill_in(graph: Graph, triangulation: Graph) -> int:
+    """Number of fill edges of ``triangulation`` relative to ``graph``."""
+    return triangulation.num_edges() - graph.num_edges()

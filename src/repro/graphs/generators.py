@@ -1,0 +1,191 @@
+"""Deterministic graph constructors used by tests, examples and workloads.
+
+All random constructions take an explicit ``seed`` so every experiment in
+the benchmark suite is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import combinations
+
+from .graph import Graph
+
+__all__ = [
+    "path_graph",
+    "cycle_graph",
+    "complete_graph",
+    "complete_bipartite_graph",
+    "star_graph",
+    "grid_graph",
+    "tree_graph",
+    "erdos_renyi",
+    "gnm_random",
+    "petersen_graph",
+    "mycielski",
+    "mycielski_graph",
+    "queen_graph",
+    "hypercube_graph",
+    "paper_example_graph",
+]
+
+
+def path_graph(n: int) -> Graph:
+    """Path on vertices ``0..n-1``."""
+    return Graph(vertices=range(n), edges=[(i, i + 1) for i in range(n - 1)])
+
+
+def cycle_graph(n: int) -> Graph:
+    """Cycle on vertices ``0..n-1`` (requires ``n >= 3``)."""
+    if n < 3:
+        raise ValueError("a cycle needs at least 3 vertices")
+    g = path_graph(n)
+    g.add_edge(n - 1, 0)
+    return g
+
+
+def complete_graph(n: int) -> Graph:
+    """Complete graph ``K_n`` on vertices ``0..n-1``."""
+    return Graph.complete(range(n))
+
+
+def complete_bipartite_graph(a: int, b: int) -> Graph:
+    """``K_{a,b}`` with sides ``0..a-1`` and ``a..a+b-1``."""
+    g = Graph(vertices=range(a + b))
+    for i in range(a):
+        for j in range(a, a + b):
+            g.add_edge(i, j)
+    return g
+
+
+def star_graph(n: int) -> Graph:
+    """Star with center ``0`` and leaves ``1..n``."""
+    return Graph(vertices=range(n + 1), edges=[(0, i) for i in range(1, n + 1)])
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """The ``rows × cols`` grid; vertices are ``(r, c)`` pairs."""
+    g = Graph(vertices=((r, c) for r in range(rows) for c in range(cols)))
+    for r in range(rows):
+        for c in range(cols):
+            if r + 1 < rows:
+                g.add_edge((r, c), (r + 1, c))
+            if c + 1 < cols:
+                g.add_edge((r, c), (r, c + 1))
+    return g
+
+
+def tree_graph(n: int, seed: int = 0) -> Graph:
+    """A uniform random labelled tree on ``0..n-1`` (random Prüfer-like)."""
+    rng = random.Random(seed)
+    g = Graph(vertices=range(n))
+    for v in range(1, n):
+        g.add_edge(v, rng.randrange(v))
+    return g
+
+
+def erdos_renyi(n: int, p: float, seed: int = 0) -> Graph:
+    """``G(n, p)``: each pair independently an edge with probability ``p``."""
+    rng = random.Random(seed)
+    g = Graph(vertices=range(n))
+    for u, v in combinations(range(n), 2):
+        if rng.random() < p:
+            g.add_edge(u, v)
+    return g
+
+
+def gnm_random(n: int, m: int, seed: int = 0) -> Graph:
+    """``G(n, m)``: exactly ``m`` edges drawn uniformly without replacement."""
+    all_pairs = list(combinations(range(n), 2))
+    if m > len(all_pairs):
+        raise ValueError(f"m={m} exceeds the {len(all_pairs)} possible edges")
+    rng = random.Random(seed)
+    return Graph(vertices=range(n), edges=rng.sample(all_pairs, m))
+
+
+def petersen_graph() -> Graph:
+    """The Petersen graph (generalized Petersen GP(5, 2))."""
+    g = Graph(vertices=range(10))
+    for i in range(5):
+        g.add_edge(i, (i + 1) % 5)  # outer cycle
+        g.add_edge(i, i + 5)  # spokes
+        g.add_edge(5 + i, 5 + (i + 2) % 5)  # inner pentagram
+    return g
+
+
+def mycielski(graph: Graph) -> Graph:
+    """The Mycielski construction over ``graph``.
+
+    Vertices are relabelled to ``0..2n``: the originals ``0..n-1``, their
+    shadows ``n..2n-1`` and the apex ``2n``.
+    """
+    base, mapping = graph.relabeled()
+    n = base.num_vertices()
+    g = Graph(vertices=range(2 * n + 1))
+    for u, v in base.edges():
+        g.add_edge(u, v)
+        g.add_edge(u, v + n)
+        g.add_edge(v, u + n)
+    for i in range(n):
+        g.add_edge(i + n, 2 * n)
+    return g
+
+
+def mycielski_graph(k: int) -> Graph:
+    """``M_k`` in the DIMACS "myciel" family: M_2 = K_2, M_3 = C_5, ...
+
+    ``mycielski_graph(5)`` is (isomorphic to) the DIMACS ``myciel5`` coloring
+    instance used in the PACE 2016 dataset and in the paper's CSP case study.
+    """
+    if k < 2:
+        raise ValueError("k must be at least 2")
+    g = Graph(vertices=[0, 1], edges=[(0, 1)])
+    for _ in range(k - 2):
+        g = mycielski(g)
+    return g
+
+
+def queen_graph(rows: int, cols: int) -> Graph:
+    """The queen graph: squares of a board, adjacent iff a queen move apart.
+
+    ``queen_graph(5, 5)`` et al. appear in the DIMACS coloring benchmarks
+    that PACE 2016 sampled.
+    """
+    g = Graph(vertices=((r, c) for r in range(rows) for c in range(cols)))
+    squares = list(g.vertices)
+    for (r1, c1), (r2, c2) in combinations(squares, 2):
+        if r1 == r2 or c1 == c2 or abs(r1 - r2) == abs(c1 - c2):
+            g.add_edge((r1, c1), (r2, c2))
+    return g
+
+
+def hypercube_graph(d: int) -> Graph:
+    """The ``d``-dimensional hypercube on ``2**d`` vertices."""
+    n = 1 << d
+    g = Graph(vertices=range(n))
+    for v in range(n):
+        for bit in range(d):
+            u = v ^ (1 << bit)
+            if u > v:
+                g.add_edge(v, u)
+    return g
+
+
+def paper_example_graph() -> Graph:
+    """The running-example graph of the paper (Figure 1(a)).
+
+    Vertices ``u, v, v', w1, w2, w3``; it has exactly three minimal
+    separators ``{w1,w2,w3}``, ``{u,v}`` and ``{v}`` (Example 2.4) and two
+    minimal triangulations (Figure 1(b)).
+    """
+    return Graph(
+        edges=[
+            ("u", "w1"),
+            ("u", "w2"),
+            ("u", "w3"),
+            ("v", "w1"),
+            ("v", "w2"),
+            ("v", "w3"),
+            ("v", "v'"),
+        ]
+    )

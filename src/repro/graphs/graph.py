@@ -1,0 +1,402 @@
+"""Core undirected-graph data structure used throughout the library.
+
+The algorithms in this package (minimal-separator enumeration, potential
+maximal clique listing, block dynamic programming) spend almost all of their
+time computing neighborhoods and connected components of vertex-deleted
+subgraphs.  ``Graph`` is therefore a thin adjacency-set structure tuned for
+exactly those operations, rather than a general-purpose graph library.
+Conversion helpers to and from :mod:`networkx` are provided for
+interoperability.
+
+Vertices may be any hashable objects.  Edges are unordered pairs of distinct
+vertices; self loops and parallel edges are not representable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable, Iterable, Iterator
+from itertools import combinations
+from typing import Any
+
+Vertex = Hashable
+Edge = tuple[Vertex, Vertex]
+
+__all__ = ["Graph", "Vertex", "Edge"]
+
+
+class Graph:
+    """An undirected graph backed by adjacency sets.
+
+    Parameters
+    ----------
+    vertices:
+        Initial vertices.  Vertices mentioned in ``edges`` are added
+        implicitly, so this is only needed for isolated vertices.
+    edges:
+        Initial edges, given as 2-item iterables of distinct vertices.
+
+    Examples
+    --------
+    >>> g = Graph(edges=[(1, 2), (2, 3)])
+    >>> sorted(g.neighbors(2))
+    [1, 3]
+    >>> g.has_edge(3, 2)
+    True
+    """
+
+    __slots__ = ("_adj",)
+
+    def __init__(
+        self,
+        vertices: Iterable[Vertex] = (),
+        edges: Iterable[Iterable[Vertex]] = (),
+    ) -> None:
+        self._adj: dict[Vertex, set[Vertex]] = {}
+        for v in vertices:
+            self.add_vertex(v)
+        for e in edges:
+            u, v = e
+            self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # Construction and mutation
+    # ------------------------------------------------------------------
+    def add_vertex(self, v: Vertex) -> None:
+        """Add vertex ``v`` (a no-op if already present)."""
+        if v not in self._adj:
+            self._adj[v] = set()
+
+    def add_edge(self, u: Vertex, v: Vertex) -> None:
+        """Add the edge ``{u, v}``, adding endpoints as needed.
+
+        Raises
+        ------
+        ValueError
+            If ``u == v`` (self loops are not supported).
+        """
+        if u == v:
+            raise ValueError(f"self loops are not supported (vertex {u!r})")
+        self.add_vertex(u)
+        self.add_vertex(v)
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+
+    def add_edges(self, edges: Iterable[Iterable[Vertex]]) -> None:
+        """Add every edge in ``edges``."""
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        """Remove the edge ``{u, v}``.
+
+        Raises
+        ------
+        KeyError
+            If the edge is not present.
+        """
+        try:
+            self._adj[u].remove(v)
+            self._adj[v].remove(u)
+        except KeyError:
+            raise KeyError(f"edge {{{u!r}, {v!r}}} not in graph") from None
+
+    def remove_vertex(self, v: Vertex) -> None:
+        """Remove vertex ``v`` and all incident edges.
+
+        Raises
+        ------
+        KeyError
+            If the vertex is not present.
+        """
+        neighbors = self._adj.pop(v)
+        for u in neighbors:
+            self._adj[u].discard(v)
+
+    def saturate(self, vertices: Iterable[Vertex]) -> None:
+        """Make ``vertices`` a clique by adding all missing edges.
+
+        This is the *saturation* operation of the paper (Section 2): replace
+        ``G`` with ``G ∪ K_U``.  All vertices must already be in the graph.
+        """
+        vs = list(vertices)
+        for u, v in combinations(vs, 2):
+            self._adj[u].add(v)
+            self._adj[v].add(u)
+
+    def copy(self) -> "Graph":
+        """Return an independent copy of this graph."""
+        g = Graph.__new__(Graph)
+        g._adj = {v: set(nbrs) for v, nbrs in self._adj.items()}
+        return g
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def vertices(self) -> Iterable[Vertex]:
+        """View of the vertex set (iteration order is insertion order)."""
+        return self._adj.keys()
+
+    def vertex_set(self) -> frozenset[Vertex]:
+        """The vertex set as a frozenset."""
+        return frozenset(self._adj)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over edges, each reported once."""
+        seen: set[Vertex] = set()
+        for u, nbrs in self._adj.items():
+            seen.add(u)
+            for v in nbrs:
+                if v not in seen:
+                    yield (u, v)
+
+    def edge_set(self) -> frozenset[frozenset[Vertex]]:
+        """The edge set as a frozenset of 2-element frozensets."""
+        return frozenset(frozenset(e) for e in self.edges())
+
+    def num_vertices(self) -> int:
+        """Number of vertices, ``|V(G)|``."""
+        return len(self._adj)
+
+    def num_edges(self) -> int:
+        """Number of edges, ``|E(G)|``."""
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._adj
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._adj)
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Whether the edge ``{u, v}`` is present."""
+        nbrs = self._adj.get(u)
+        return nbrs is not None and v in nbrs
+
+    def neighbors(self, v: Vertex) -> frozenset[Vertex]:
+        """The open neighborhood ``N(v)``."""
+        return frozenset(self._adj[v])
+
+    def adj(self, v: Vertex) -> set[Vertex]:
+        """Direct (mutable!) view of the adjacency set of ``v``.
+
+        Internal fast path; callers must not mutate the returned set.
+        """
+        return self._adj[v]
+
+    def degree(self, v: Vertex) -> int:
+        """The degree of ``v``."""
+        return len(self._adj[v])
+
+    def closed_neighborhood(self, v: Vertex) -> set[Vertex]:
+        """The closed neighborhood ``N[v] = N(v) ∪ {v}``."""
+        closed = set(self._adj[v])
+        closed.add(v)
+        return closed
+
+    def neighborhood_of_set(self, vertices: Iterable[Vertex]) -> set[Vertex]:
+        """``N(U)``: vertices outside ``U`` adjacent to at least one of ``U``."""
+        vs = set(vertices)
+        out: set[Vertex] = set()
+        for v in vs:
+            out |= self._adj[v]
+        return out - vs
+
+    def is_clique(self, vertices: Iterable[Vertex]) -> bool:
+        """Whether ``vertices`` induce a complete subgraph."""
+        vs = list(vertices)
+        # Checking against the smallest adjacency sets first is not worth the
+        # bookkeeping; the quadratic loop with early exit is fast in practice.
+        for i, u in enumerate(vs):
+            adj_u = self._adj[u]
+            for v in vs[i + 1 :]:
+                if v not in adj_u:
+                    return False
+        return True
+
+    def missing_edges(self, vertices: Iterable[Vertex]) -> Iterator[Edge]:
+        """Pairs of ``vertices`` that are *not* adjacent (the fill of a bag)."""
+        vs = list(vertices)
+        for i, u in enumerate(vs):
+            adj_u = self._adj[u]
+            for v in vs[i + 1 :]:
+                if v not in adj_u:
+                    yield (u, v)
+
+    # ------------------------------------------------------------------
+    # Subgraphs and combinations
+    # ------------------------------------------------------------------
+    def subgraph(self, vertices: Iterable[Vertex]) -> "Graph":
+        """The induced subgraph ``G[U]``."""
+        vs = set(vertices)
+        g = Graph.__new__(Graph)
+        g._adj = {v: self._adj[v] & vs for v in vs}
+        return g
+
+    def without(self, vertices: Iterable[Vertex]) -> "Graph":
+        """The graph ``G \\ U`` (remove ``U`` and incident edges)."""
+        removed = set(vertices)
+        return self.subgraph(set(self._adj) - removed)
+
+    def union(self, other: "Graph") -> "Graph":
+        """The graph union ``G1 ∪ G2`` (union of vertices and edges)."""
+        g = self.copy()
+        for v in other._adj:
+            g.add_vertex(v)
+        for u, v in other.edges():
+            g.add_edge(u, v)
+        return g
+
+    def complement(self) -> "Graph":
+        """The complement graph on the same vertex set."""
+        vs = list(self._adj)
+        g = Graph(vertices=vs)
+        for i, u in enumerate(vs):
+            adj_u = self._adj[u]
+            for v in vs[i + 1 :]:
+                if v not in adj_u:
+                    g.add_edge(u, v)
+        return g
+
+    @staticmethod
+    def complete(vertices: Iterable[Vertex]) -> "Graph":
+        """The complete graph ``K_U`` over ``vertices``."""
+        vs = list(vertices)
+        g = Graph(vertices=vs)
+        g.saturate(vs)
+        return g
+
+    # ------------------------------------------------------------------
+    # Connectivity
+    # ------------------------------------------------------------------
+    def connected_components(self) -> list[set[Vertex]]:
+        """All connected components, as a list of vertex sets."""
+        seen: set[Vertex] = set()
+        components: list[set[Vertex]] = []
+        for start in self._adj:
+            if start in seen:
+                continue
+            comp = self._component_from(start, excluded=())
+            seen |= comp
+            components.append(comp)
+        return components
+
+    def components_without(self, removed: Iterable[Vertex]) -> list[set[Vertex]]:
+        """Connected components of ``G \\ removed`` without materializing it.
+
+        This is the hottest operation in the library (it is called once per
+        candidate separator per crossing check), so it runs BFS directly on
+        the parent adjacency structure.
+        """
+        removed_set = set(removed)
+        seen: set[Vertex] = set(removed_set)
+        components: list[set[Vertex]] = []
+        for start in self._adj:
+            if start in seen:
+                continue
+            comp = self._component_from(start, excluded=removed_set)
+            seen |= comp
+            components.append(comp)
+        return components
+
+    def component_of(
+        self, start: Vertex, removed: Iterable[Vertex] = ()
+    ) -> set[Vertex]:
+        """The connected component of ``G \\ removed`` containing ``start``."""
+        removed_set = set(removed)
+        if start in removed_set:
+            raise ValueError(f"start vertex {start!r} is in the removed set")
+        return self._component_from(start, excluded=removed_set)
+
+    def _component_from(self, start: Vertex, excluded: Iterable[Vertex]) -> set[Vertex]:
+        excluded_set = set(excluded)
+        comp = {start}
+        queue = deque((start,))
+        adj = self._adj
+        while queue:
+            u = queue.popleft()
+            for w in adj[u]:
+                if w not in comp and w not in excluded_set:
+                    comp.add(w)
+                    queue.append(w)
+        return comp
+
+    def is_connected(self) -> bool:
+        """Whether the graph is connected (the empty graph counts as connected)."""
+        if not self._adj:
+            return True
+        start = next(iter(self._adj))
+        return len(self._component_from(start, excluded=())) == len(self._adj)
+
+    def bfs_order(self, start: Vertex | None = None) -> list[Vertex]:
+        """Vertices in BFS order from ``start`` (component by component).
+
+        Every prefix of the returned order induces a subgraph with at most as
+        many components as the full graph; on a connected graph every prefix
+        is connected.  The potential-maximal-clique enumerator relies on this.
+        """
+        order: list[Vertex] = []
+        seen: set[Vertex] = set()
+        starts: list[Vertex] = []
+        if start is not None:
+            starts.append(start)
+        starts.extend(self._adj)
+        for s in starts:
+            if s in seen:
+                continue
+            seen.add(s)
+            queue = deque((s,))
+            while queue:
+                u = queue.popleft()
+                order.append(u)
+                for w in self._adj[u]:
+                    if w not in seen:
+                        seen.add(w)
+                        queue.append(w)
+        return order
+
+    # ------------------------------------------------------------------
+    # Interop and dunder plumbing
+    # ------------------------------------------------------------------
+    def to_networkx(self) -> Any:
+        """Convert to a :class:`networkx.Graph`."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(self._adj)
+        g.add_edges_from(self.edges())
+        return g
+
+    @staticmethod
+    def from_networkx(nx_graph: Any) -> "Graph":
+        """Build a :class:`Graph` from a :class:`networkx.Graph`."""
+        g = Graph(vertices=nx_graph.nodes())
+        for u, v in nx_graph.edges():
+            if u != v:  # drop self loops silently
+                g.add_edge(u, v)
+        return g
+
+    def relabeled(self) -> tuple["Graph", dict[Vertex, int]]:
+        """Return an isomorphic copy on ``0..n-1`` plus the vertex mapping."""
+        mapping = {v: i for i, v in enumerate(self._adj)}
+        g = Graph(vertices=mapping.values())
+        for u, v in self.edges():
+            g.add_edge(mapping[u], mapping[v])
+        return g, mapping
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        if self._adj.keys() != other._adj.keys():
+            return False
+        return all(self._adj[v] == other._adj[v] for v in self._adj)
+
+    def __hash__(self) -> int:  # pragma: no cover - mutable; identity hash
+        return id(self)
+
+    def __repr__(self) -> str:
+        return f"Graph(|V|={self.num_vertices()}, |E|={self.num_edges()})"

@@ -1,0 +1,15 @@
+"""Generalized hypertree decompositions over the triangulation machinery."""
+
+from .ghd import (
+    GeneralizedHypertreeDecomposition,
+    ghd_from_tree_decomposition,
+    minimum_ghd,
+    ranked_ghds,
+)
+
+__all__ = [
+    "GeneralizedHypertreeDecomposition",
+    "ghd_from_tree_decomposition",
+    "minimum_ghd",
+    "ranked_ghds",
+]

@@ -1,0 +1,19 @@
+"""Potential maximal cliques: predicate, enumeration, brute-force oracle."""
+
+from .predicate import is_pmc, minseps_of_pmc, blocks_of_pmc
+from .enumerate import (
+    potential_maximal_cliques,
+    prefix_minimal_separators,
+    one_more_vertex,
+)
+from .oracle import potential_maximal_cliques_bruteforce
+
+__all__ = [
+    "is_pmc",
+    "minseps_of_pmc",
+    "blocks_of_pmc",
+    "potential_maximal_cliques",
+    "prefix_minimal_separators",
+    "one_more_vertex",
+    "potential_maximal_cliques_bruteforce",
+]

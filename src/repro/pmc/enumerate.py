@@ -1,0 +1,197 @@
+"""Listing all potential maximal cliques (Bouchitté and Todinca, 2002).
+
+The enumeration processes the vertices ``v_1, …, v_n`` in BFS order (so that
+prefixes of a connected graph stay connected) and maintains ``PMC(G_i)`` for
+the growing induced prefix graphs ``G_i = G[{v_1..v_i}]``.  The step from
+``G' = G_i`` to ``G = G_{i+1}`` (new vertex ``a``) relies on the
+ONE_MORE_VERTEX theorem: every PMC ``Ω`` of ``G`` is of one of four forms,
+
+1. ``Ω`` is a PMC of ``G'`` (or the singleton ``{a}``);
+2. ``Ω = Ω' ∪ {a}`` for a PMC ``Ω'`` of ``G'``;
+3. ``Ω = S ∪ {a}`` for a minimal separator ``S`` of ``G``;
+4. ``Ω = S ∪ (T ∩ C)`` or ``Ω = S ∪ C`` where ``S`` is a minimal separator
+   of ``G`` with ``a ∉ S``, ``C`` is **any** component of ``G \\ S``, and
+   ``T`` is a minimal separator of ``G'``.
+
+Case 4 is deliberately wider than the form usually quoted (which takes
+only the component containing ``a``): the narrow family provably misses
+PMCs — see ``docs/algorithms.md`` §3 — while the wide one passes
+exhaustive cross-validation against the brute-force oracle.  Each
+candidate is verified with :func:`repro.pmc.predicate.is_pmc`, so the
+output is exactly ``PMC(G)`` whenever the candidate family is complete,
+and the oracle tests establish completeness.
+
+The per-prefix minimal separator sets are derived *top-down* from a single
+Berry–Bordat–Cogis run on the full graph, using the vertex-removal lemma:
+for every minimal separator ``S'`` of ``G − a``, either ``S'`` or
+``S' ∪ {a}`` is a minimal separator of ``G``.  Hence
+``MinSep(G − a) ⊆ {S, S \\ {a} : S ∈ MinSep(G)}`` and one minimality check
+per candidate recovers the exact set — far cheaper than re-running BBC on
+every prefix.
+
+A ``budget`` (maximum number of PMCs) may be supplied; exceeding it raises
+:class:`~repro.separators.berry.SeparatorLimitExceeded`, which the
+experiment harness uses to classify graphs as "PMC-intractable"
+(Figure 5 of the paper).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..graphs.graph import Graph, Vertex
+from ..separators.berry import (
+    SeparatorLimitExceeded,
+    is_minimal_separator,
+    minimal_separators,
+)
+from .predicate import is_pmc
+
+Separator = frozenset[Vertex]
+PMC = frozenset[Vertex]
+
+__all__ = ["potential_maximal_cliques", "prefix_minimal_separators", "one_more_vertex"]
+
+
+def prefix_minimal_separators(
+    graph: Graph,
+    order: Sequence[Vertex],
+    full_separators: set[Separator] | None = None,
+) -> list[set[Separator]]:
+    """``MinSep(G_i)`` for every prefix ``G_i = G[order[:i]]``, ``i = 1..n``.
+
+    Derived top-down from ``MinSep(G)`` via the vertex-removal lemma (see
+    module docstring).  ``full_separators`` may be passed when already
+    computed; otherwise BBC runs once on ``graph``.
+    """
+    n = len(order)
+    if full_separators is None:
+        full_separators = minimal_separators(graph)
+    per_prefix: list[set[Separator]] = [set() for _ in range(n)]
+    if n == 0:
+        return per_prefix
+    per_prefix[n - 1] = set(full_separators)
+    current = graph
+    for i in range(n - 1, 0, -1):
+        a = order[i]
+        smaller = current.without((a,))
+        candidates: set[Separator] = set()
+        for s in per_prefix[i]:
+            candidates.add(s - {a} if a in s else s)
+        per_prefix[i - 1] = {
+            s for s in candidates if is_minimal_separator(smaller, s)
+        }
+        current = smaller
+    return per_prefix
+
+
+def one_more_vertex(
+    bigger: Graph,
+    new_vertex: Vertex,
+    pmcs_smaller: set[PMC],
+    minseps_smaller: set[Separator],
+    minseps_bigger: set[Separator],
+    budget: int | None = None,
+) -> set[PMC]:
+    """One step of the Bouchitté–Todinca enumeration: ``PMC(G' + a)``.
+
+    Parameters mirror the theorem: ``bigger`` is ``G`` (already containing
+    ``new_vertex = a``), ``pmcs_smaller`` / ``minseps_smaller`` describe
+    ``G' = G − a``, and ``minseps_bigger`` is ``MinSep(G)``.
+    """
+    a = new_vertex
+    out: set[PMC] = set()
+    checked: set[PMC] = set()
+
+    def consider(candidate: frozenset[Vertex]) -> None:
+        if candidate in checked:
+            return
+        checked.add(candidate)
+        if is_pmc(bigger, candidate):
+            out.add(candidate)
+            if budget is not None and len(out) > budget:
+                raise SeparatorLimitExceeded(
+                    f"more than {budget} potential maximal cliques", partial=out
+                )
+
+    # The new vertex alone (it may start a fresh component of the prefix).
+    consider(frozenset((a,)))
+
+    # Cases 1 and 2: PMCs of G', possibly extended by a.
+    for om in pmcs_smaller:
+        consider(om)
+        consider(om | {a})
+
+    # Case 3: S ∪ {a} for S ∈ MinSep(G).
+    for s in minseps_bigger:
+        consider(s | {a})
+
+    # Case 4: S ∪ (T ∩ C) and S ∪ C, for S ∈ MinSep(G) avoiding a,
+    # T ∈ MinSep(G'), C ranging over the components of G \ S.
+    for s in minseps_bigger:
+        if a in s:
+            continue
+        for comp in bigger.components_without(s):
+            consider(s | comp)
+            for t in minseps_smaller:
+                inter = t & comp
+                if inter and not inter <= s:
+                    consider(s | inter)
+    return out
+
+
+def potential_maximal_cliques(
+    graph: Graph,
+    separators: set[Separator] | None = None,
+    budget: int | None = None,
+    order: Sequence[Vertex] | None = None,
+    deadline: float | None = None,
+) -> set[PMC]:
+    """All potential maximal cliques ``PMC(G)``.
+
+    Parameters
+    ----------
+    graph:
+        Input graph (may be disconnected; PMCs of a disconnected graph are
+        the PMCs of its components).
+    separators:
+        ``MinSep(G)`` if already available (saves the BBC run).
+    budget:
+        Optional cap on ``|PMC(G)|``; exceeding it raises
+        :class:`SeparatorLimitExceeded`.
+    order:
+        Optional vertex insertion order (defaults to BFS order).
+    deadline:
+        Optional :func:`time.perf_counter` value bounding the wall clock
+        (raises :class:`SeparatorLimitExceeded` when exceeded) — the PMC
+        half of the Figure 5 tractability gate.
+    """
+    import time
+
+    if graph.num_vertices() == 0:
+        return set()
+    if order is None:
+        order = graph.bfs_order()
+    if separators is None:
+        separators = minimal_separators(graph)
+    per_prefix = prefix_minimal_separators(graph, order, separators)
+
+    prefix_vertices: list[Vertex] = [order[0]]
+    pmcs: set[PMC] = {frozenset(prefix_vertices)}
+    for i in range(1, len(order)):
+        a = order[i]
+        prefix_vertices.append(a)
+        bigger = graph.subgraph(prefix_vertices)
+        pmcs = one_more_vertex(
+            bigger,
+            a,
+            pmcs,
+            per_prefix[i - 1],
+            per_prefix[i],
+            budget=budget,
+        )
+        if deadline is not None and time.perf_counter() > deadline:
+            raise SeparatorLimitExceeded(
+                "PMC enumeration hit its time budget", partial=pmcs
+            )
+    return pmcs

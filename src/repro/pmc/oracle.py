@@ -1,0 +1,38 @@
+"""Brute-force PMC oracle for testing the incremental enumeration.
+
+Exponential in ``|V|`` — intended only for graphs of a dozen or so vertices
+in the test suite.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from ..graphs.graph import Graph, Vertex
+from .predicate import is_pmc
+
+PMC = frozenset[Vertex]
+
+__all__ = ["potential_maximal_cliques_bruteforce"]
+
+
+def potential_maximal_cliques_bruteforce(graph: Graph, max_n: int = 16) -> set[PMC]:
+    """All PMCs by testing every vertex subset with :func:`is_pmc`.
+
+    Raises
+    ------
+    ValueError
+        If the graph has more than ``max_n`` vertices (guards against
+        accidentally exponential test runs).
+    """
+    vertices = list(graph.vertices)
+    if len(vertices) > max_n:
+        raise ValueError(
+            f"brute-force oracle limited to {max_n} vertices, got {len(vertices)}"
+        )
+    out: set[PMC] = set()
+    for size in range(1, len(vertices) + 1):
+        for subset in combinations(vertices, size):
+            if is_pmc(graph, subset):
+                out.add(frozenset(subset))
+    return out

@@ -1,0 +1,30 @@
+"""Minimal separators: enumeration, crossing relation, blocks."""
+
+from .berry import (
+    Separator,
+    SeparatorLimitExceeded,
+    full_components,
+    is_minimal_separator,
+    is_minimal_uv_separator,
+    iter_minimal_separators,
+    minimal_separators,
+)
+from .crossing import SeparatorFamily, are_parallel, crosses
+from .blocks import Block, all_full_blocks, blocks_of_separator, full_blocks_of_separator
+
+__all__ = [
+    "Separator",
+    "SeparatorLimitExceeded",
+    "full_components",
+    "is_minimal_separator",
+    "is_minimal_uv_separator",
+    "iter_minimal_separators",
+    "minimal_separators",
+    "SeparatorFamily",
+    "are_parallel",
+    "crosses",
+    "Block",
+    "all_full_blocks",
+    "blocks_of_separator",
+    "full_blocks_of_separator",
+]

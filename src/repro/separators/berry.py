@@ -1,0 +1,173 @@
+"""Enumeration of all minimal separators (Berry, Bordat and Cogis, 1999).
+
+A vertex set ``S`` is a *minimal (u,v)-separator* if ``u`` and ``v`` lie in
+different components of ``G \\ S`` and no proper subset of ``S`` separates
+them; ``S`` is a *minimal separator* if it is a minimal (u,v)-separator for
+some pair.  Equivalently (and this is the workhorse predicate): ``S`` is a
+minimal separator iff ``G \\ S`` has at least two *full* components — ones
+whose neighborhood is exactly ``S``.
+
+The Berry–Bordat–Cogis (BBC) algorithm starts from the separators "close to"
+each vertex ``v`` (neighborhoods of the components of ``G \\ N[v]``) and
+closes the set under the expansion step: for ``S`` already found and
+``x ∈ S``, the neighborhoods of the components of ``G \\ (S ∪ N(x))`` are
+minimal separators too.  Total time is ``O(n^3)`` per separator; the paper
+uses this as the initialization step of ``RankedTriang``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterator
+
+from ..graphs.graph import Graph, Vertex
+
+Separator = frozenset[Vertex]
+
+__all__ = [
+    "is_minimal_separator",
+    "is_minimal_uv_separator",
+    "minimal_separators",
+    "iter_minimal_separators",
+    "full_components",
+]
+
+
+def full_components(graph: Graph, separator: Separator) -> list[set[Vertex]]:
+    """The components of ``G \\ S`` whose neighborhood is all of ``S``."""
+    full = []
+    for comp in graph.components_without(separator):
+        if graph.neighborhood_of_set(comp) == separator:
+            full.append(comp)
+    return full
+
+
+def is_minimal_separator(graph: Graph, candidate: frozenset[Vertex]) -> bool:
+    """Whether ``candidate`` is a minimal separator of ``graph``.
+
+    Uses the full-component characterization: ``S`` is a minimal separator
+    iff at least two components of ``G \\ S`` see all of ``S``.  The empty
+    set is not considered a minimal separator (the library operates on
+    connected graphs; disconnected inputs are decomposed upstream).
+    """
+    if not candidate:
+        return False
+    count = 0
+    for comp in graph.components_without(candidate):
+        if graph.neighborhood_of_set(comp) == candidate:
+            count += 1
+            if count >= 2:
+                return True
+    return False
+
+
+def is_minimal_uv_separator(
+    graph: Graph, candidate: frozenset[Vertex], u: Vertex, v: Vertex
+) -> bool:
+    """Whether ``candidate`` is a minimal (u,v)-separator.
+
+    True iff ``u`` and ``v`` lie in different components of ``G \\ S`` and
+    both of their components are full.
+    """
+    if u in candidate or v in candidate:
+        return False
+    comp_u = graph.component_of(u, removed=candidate)
+    if v in comp_u:
+        return False
+    comp_v = graph.component_of(v, removed=candidate)
+    return (
+        graph.neighborhood_of_set(comp_u) == candidate
+        and graph.neighborhood_of_set(comp_v) == candidate
+    )
+
+
+def _close_separators(graph: Graph, removed: set[Vertex]) -> Iterator[Separator]:
+    """Neighborhoods of the components of ``G \\ removed``.
+
+    Every such neighborhood that is non-empty and yields a full component on
+    the *other* side is a minimal separator; BBC shows that filtering with
+    :func:`is_minimal_separator` keeps exactly the right ones.
+    """
+    for comp in graph.components_without(removed):
+        yield frozenset(graph.neighborhood_of_set(comp))
+
+
+def iter_minimal_separators(graph: Graph) -> Iterator[Separator]:
+    """Yield every minimal separator of ``graph`` exactly once (BBC).
+
+    The graph need not be connected: separators are found per component
+    (the empty set is never yielded).  Yields in no particular order.
+    """
+    seen: set[Separator] = set()
+    queue: deque[Separator] = deque()
+
+    def admit(candidate: Separator) -> Iterator[Separator]:
+        if candidate and candidate not in seen and is_minimal_separator(graph, candidate):
+            seen.add(candidate)
+            queue.append(candidate)
+            yield candidate
+
+    # Initialization: separators close to each vertex.
+    for v in graph.vertices:
+        for candidate in _close_separators(graph, graph.closed_neighborhood(v)):
+            yield from admit(candidate)
+
+    # Closure under the BBC expansion step.
+    while queue:
+        separator = queue.popleft()
+        for x in separator:
+            removed = set(separator) | set(graph.adj(x)) | {x}
+            for candidate in _close_separators(graph, removed):
+                yield from admit(candidate)
+
+
+def minimal_separators(
+    graph: Graph,
+    limit: int | None = None,
+    deadline: float | None = None,
+) -> set[Separator]:
+    """All minimal separators of ``graph`` (``MinSep(G)``).
+
+    Parameters
+    ----------
+    graph:
+        Input graph.
+    limit:
+        If given, raise :class:`SeparatorLimitExceeded` as soon as more than
+        ``limit`` separators have been produced.  This implements the
+        "poly-MS gate" the experiments use (Section 7.2): datasets where
+        minimal-separator generation blows up are reported as intractable
+        rather than looping forever.
+    deadline:
+        Optional :func:`time.perf_counter` value; exceeding it raises
+        :class:`SeparatorLimitExceeded` too (the wall-clock budget of the
+        Figure 5 tractability study).
+    """
+    import time
+
+    out: set[Separator] = set()
+    for sep in iter_minimal_separators(graph):
+        out.add(sep)
+        if limit is not None and len(out) > limit:
+            raise SeparatorLimitExceeded(
+                f"more than {limit} minimal separators", partial=out
+            )
+        if deadline is not None and time.perf_counter() > deadline:
+            raise SeparatorLimitExceeded(
+                "minimal separator enumeration hit its time budget", partial=out
+            )
+    return out
+
+
+class SeparatorLimitExceeded(RuntimeError):
+    """Raised when a separator/PMC budget is exceeded.
+
+    Attributes
+    ----------
+    partial:
+        The (incomplete) set generated before the budget tripped.
+    """
+
+    def __init__(self, message: str, partial: set[Separator] | None = None) -> None:
+        super().__init__(message)
+        self.partial = partial if partial is not None else set()

@@ -1,0 +1,64 @@
+"""Triangulation predicates: validity and minimality.
+
+The minimality test is the Rose–Tarjan–Lueker characterization: a chordal
+supergraph ``H ⊇ G`` is a *minimal* triangulation of ``G`` iff removing any
+single fill edge destroys chordality.  (Quadratic in the number of fill
+edges times a chordality test — fine as a verifier, not meant as a
+construction tool.)
+"""
+
+from __future__ import annotations
+
+from ..graphs.graph import Graph, Vertex
+from ..graphs.chordal import is_chordal
+
+Edge = tuple[Vertex, Vertex]
+
+__all__ = ["fill_edges", "is_triangulation", "is_minimal_triangulation"]
+
+
+def fill_edges(graph: Graph, triangulation: Graph) -> list[Edge]:
+    """The fill set ``E(H) \\ E(G)``.
+
+    Raises
+    ------
+    ValueError
+        If ``triangulation`` is not a supergraph of ``graph`` on the same
+        vertex set.
+    """
+    if triangulation.vertex_set() != graph.vertex_set():
+        raise ValueError("triangulation must have the same vertex set as the graph")
+    fill: list[Edge] = []
+    for u, v in triangulation.edges():
+        if not graph.has_edge(u, v):
+            fill.append((u, v))
+    return fill
+
+
+def is_triangulation(graph: Graph, candidate: Graph) -> bool:
+    """Whether ``candidate`` is a triangulation (chordal supergraph) of
+    ``graph`` on the same vertex set."""
+    if candidate.vertex_set() != graph.vertex_set():
+        return False
+    for u, v in graph.edges():
+        if not candidate.has_edge(u, v):
+            return False
+    return is_chordal(candidate)
+
+
+def is_minimal_triangulation(graph: Graph, candidate: Graph) -> bool:
+    """Whether ``candidate`` is a *minimal* triangulation of ``graph``.
+
+    Rose–Tarjan–Lueker: minimal iff chordal and every single fill-edge
+    removal breaks chordality.
+    """
+    if not is_triangulation(graph, candidate):
+        return False
+    work = candidate.copy()
+    for u, v in fill_edges(graph, candidate):
+        work.remove_edge(u, v)
+        chordal_without = is_chordal(work)
+        work.add_edge(u, v)
+        if chordal_without:
+            return False
+    return True

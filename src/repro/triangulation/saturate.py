@@ -1,0 +1,73 @@
+"""Triangulations from separator sets and back (Parra–Scheffler bridge).
+
+Theorem 2.5 of the paper (Parra and Scheffler, 1997): saturating every
+member of a *maximal* set ``M`` of pairwise-parallel minimal separators
+yields a minimal triangulation ``H`` with ``MinSep(H) = M``; conversely
+every minimal triangulation arises this way from its own minimal separator
+set.  These two directions are :func:`saturate_separators` and
+:func:`minimal_separators_of_triangulation`.
+
+The ranked enumerator identifies each minimal triangulation with its
+separator set (the Lawler–Murty "items" are minimal separators), so this
+round trip is the heart of the algorithm.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..graphs.graph import Graph, Vertex
+from ..graphs.cliquetree import minimal_separators_chordal
+
+Separator = frozenset[Vertex]
+
+__all__ = [
+    "saturate_separators",
+    "saturate_bags",
+    "minimal_separators_of_triangulation",
+    "triangulation_from_bags",
+]
+
+
+def saturate_separators(graph: Graph, separators: Iterable[Separator]) -> Graph:
+    """``G`` with every separator in ``separators`` saturated into a clique.
+
+    When ``separators`` is a maximal pairwise-parallel set of minimal
+    separators the result is a minimal triangulation (Theorem 2.5(1)).
+    """
+    out = graph.copy()
+    for s in separators:
+        out.saturate(s)
+    return out
+
+
+def saturate_bags(graph: Graph, bags: Iterable[Iterable[Vertex]]) -> Graph:
+    """``H_T``: the graph obtained from ``G`` by saturating every bag.
+
+    This is the graph the constraint semantics of Section 6.1 are defined
+    on (``κ[I,X]`` checks clique-ness of constraint separators in ``H_T``).
+    """
+    out = graph.copy()
+    for bag in bags:
+        out.saturate(bag)
+    return out
+
+
+def triangulation_from_bags(graph: Graph, bags: Iterable[Iterable[Vertex]]) -> Graph:
+    """Alias of :func:`saturate_bags` with intent: bags of a decomposition."""
+    return saturate_bags(graph, bags)
+
+
+def minimal_separators_of_triangulation(triangulation: Graph) -> set[Separator]:
+    """``MinSep(H)`` for a chordal graph ``H``.
+
+    These are the clique-tree adhesions; for a minimal triangulation of
+    ``G`` they form the maximal pairwise-parallel set identifying it
+    (Theorem 2.5(2)).
+
+    Raises
+    ------
+    ValueError
+        If ``triangulation`` is not chordal.
+    """
+    return minimal_separators_chordal(triangulation)

@@ -1,0 +1,46 @@
+"""Workload generators reproducing the paper's six dataset families."""
+
+from .random_graphs import RandomInstance, figure7_instances, figure8_instances
+from .tpch import tpch_instances, tpch_query_graph
+from .pgm import (
+    moralize,
+    grids_instances,
+    dbn_instances,
+    segmentation_instances,
+    promedas_instances,
+    csp_instances,
+    object_detection_instances,
+    image_alignment_instances,
+    alchemy_instances,
+    pedigree_instances,
+    protein_protein_instances,
+    protein_folding_instances,
+)
+from .pace import control_flow_graph, pace100_instances, pace1000_instances
+from .registry import DATASETS, dataset, dataset_names
+
+__all__ = [
+    "RandomInstance",
+    "figure7_instances",
+    "figure8_instances",
+    "tpch_instances",
+    "tpch_query_graph",
+    "moralize",
+    "grids_instances",
+    "dbn_instances",
+    "segmentation_instances",
+    "promedas_instances",
+    "csp_instances",
+    "object_detection_instances",
+    "image_alignment_instances",
+    "alchemy_instances",
+    "pedigree_instances",
+    "protein_protein_instances",
+    "protein_folding_instances",
+    "control_flow_graph",
+    "pace100_instances",
+    "pace1000_instances",
+    "DATASETS",
+    "dataset",
+    "dataset_names",
+]

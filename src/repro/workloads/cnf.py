@@ -1,0 +1,82 @@
+"""CNF primal graphs for the weighted-model-counting motivation.
+
+The paper's introduction cites weighted model counting (Kenig–Gal) as an
+application with costs "associated with the CNF-tree of the formula" that
+the classic width/fill measures do not capture.  A CNF formula's *primal
+graph* has a vertex per variable and an edge between variables sharing a
+clause; tree decompositions of it drive both #SAT dynamic programming and
+the junction-tree topologies Kenig–Gal study.
+
+This module provides deterministic random k-CNF generators and the
+formula → primal graph translation used by the model-counting example.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..graphs.graph import Graph
+
+__all__ = ["CnfFormula", "random_k_cnf", "chain_cnf"]
+
+
+@dataclass(frozen=True)
+class CnfFormula:
+    """A CNF formula as clauses over integer variables ``1..num_vars``.
+
+    Literals are signed ints (DIMACS convention); the sign is irrelevant
+    for the primal graph but kept for realism and round-tripping.
+    """
+
+    num_vars: int
+    clauses: tuple[tuple[int, ...], ...]
+
+    def primal_graph(self) -> Graph:
+        """Variables adjacent iff they co-occur in a clause."""
+        g = Graph(vertices=range(1, self.num_vars + 1))
+        for clause in self.clauses:
+            g.saturate({abs(lit) for lit in clause})
+        return g
+
+    def to_dimacs(self) -> str:
+        """Serialize in DIMACS CNF format."""
+        lines = [f"p cnf {self.num_vars} {len(self.clauses)}"]
+        for clause in self.clauses:
+            lines.append(" ".join(map(str, clause)) + " 0")
+        return "\n".join(lines) + "\n"
+
+
+def random_k_cnf(
+    num_vars: int, num_clauses: int, k: int = 3, seed: int = 0
+) -> CnfFormula:
+    """A uniform random k-CNF formula (distinct variables per clause)."""
+    if k > num_vars:
+        raise ValueError(f"clause width {k} exceeds {num_vars} variables")
+    rng = random.Random(seed)
+    clauses = []
+    for _ in range(num_clauses):
+        variables = rng.sample(range(1, num_vars + 1), k)
+        clauses.append(
+            tuple(v if rng.random() < 0.5 else -v for v in variables)
+        )
+    return CnfFormula(num_vars=num_vars, clauses=tuple(clauses))
+
+
+def chain_cnf(length: int, overlap: int = 1, k: int = 3) -> CnfFormula:
+    """A chain-structured CNF: clause i shares ``overlap`` vars with i+1.
+
+    Chain formulas have pathwidth ≈ k − overlap; they model the "easy"
+    end of the model-counting spectrum (band-structured circuits).
+    """
+    if not 0 < overlap < k:
+        raise ValueError("need 0 < overlap < k")
+    clauses = []
+    start = 1
+    highest = 0
+    for _ in range(length):
+        variables = list(range(start, start + k))
+        highest = max(highest, variables[-1])
+        clauses.append(tuple(variables))
+        start += k - overlap
+    return CnfFormula(num_vars=highest, clauses=tuple(clauses))

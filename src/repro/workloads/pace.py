@@ -1,0 +1,115 @@
+"""PACE-2016-like treewidth-competition workloads.
+
+The PACE 2016 instances sample three public sources: *named graphs*,
+*control-flow graphs* of real programs, and *DIMACS graph-coloring*
+instances, split into a 100-second and a 1000-second track.  Without
+network access we generate the same three categories: classic named
+graphs from our generator library, structured random control-flow graphs
+produced by a statement-grammar sampler, and coloring-style instances
+(queen boards, Mycielski graphs, random ``G(n, m)``).
+
+The 100s track uses smaller instances (mostly tractable at reproduction
+scale), the 1000s track larger ones — matching the Figure 5 split where
+``Pace2016-100s`` is the biggest mostly-green dataset and
+``Pace2016-1000s`` has a handful of entries.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..graphs.generators import (
+    complete_bipartite_graph,
+    gnm_random,
+    grid_graph,
+    hypercube_graph,
+    mycielski_graph,
+    petersen_graph,
+    queen_graph,
+)
+from ..graphs.graph import Graph
+
+__all__ = ["control_flow_graph", "pace100_instances", "pace1000_instances"]
+
+
+def control_flow_graph(size: int, seed: int = 0) -> Graph:
+    """A structured random control-flow graph (undirected view).
+
+    Samples a program from the grammar ``stmt := basic | seq(stmt, stmt) |
+    if(stmt, stmt) | while(stmt)`` until roughly ``size`` basic blocks
+    exist, then connects entry/exit blocks as a CFG would.  Real CFGs have
+    treewidth ≤ 7-ish; these do too, keeping the family tractable like the
+    PACE control-flow instances.
+    """
+    rng = random.Random(seed)
+    g = Graph()
+    counter = 0
+
+    def new_block() -> int:
+        nonlocal counter
+        counter += 1
+        g.add_vertex(counter)
+        return counter
+
+    def build(budget: int) -> tuple[int, int]:
+        """Build a statement with ~budget blocks; return (entry, exit)."""
+        if budget <= 1:
+            b = new_block()
+            return b, b
+        choice = rng.random()
+        if choice < 0.4:  # sequence
+            left = build(budget // 2)
+            right = build(budget - budget // 2)
+            g.add_edge(left[1], right[0])
+            return left[0], right[1]
+        if choice < 0.75:  # if-then-else
+            head = new_block()
+            join = new_block()
+            then_branch = build(max(1, (budget - 2) // 2))
+            else_branch = build(max(1, (budget - 2) // 2))
+            g.add_edge(head, then_branch[0])
+            g.add_edge(head, else_branch[0])
+            g.add_edge(then_branch[1], join)
+            g.add_edge(else_branch[1], join)
+            return head, join
+        # while loop
+        head = new_block()
+        body = build(max(1, budget - 1))
+        g.add_edge(head, body[0])
+        if body[1] != head:
+            g.add_edge(body[1], head)
+        return head, head
+
+    build(size)
+    return g
+
+
+def pace100_instances(seed: int = 53) -> list[tuple[str, Graph]]:
+    """The 100-second-track stand-ins (small named/CFG/coloring graphs)."""
+    rng = random.Random(seed)
+    out: list[tuple[str, Graph]] = [
+        ("pace100-petersen", petersen_graph()),
+        ("pace100-myciel4", mycielski_graph(4)),
+        ("pace100-queen5x5", queen_graph(5, 5)),
+        ("pace100-hypercube3", hypercube_graph(3)),
+        ("pace100-grid4x4", grid_graph(4, 4)),
+        ("pace100-k44", complete_bipartite_graph(4, 4)),
+    ]
+    for i in range(4):
+        out.append(
+            (f"pace100-cfg-{i}", control_flow_graph(rng.randint(12, 20), seed=seed + i))
+        )
+    for i in range(3):
+        n = rng.randint(12, 16)
+        m = rng.randint(n + 4, 2 * n)
+        out.append((f"pace100-gnm-{i}", gnm_random(n, m, seed=seed + 100 + i)))
+    return out
+
+
+def pace1000_instances(seed: int = 59) -> list[tuple[str, Graph]]:
+    """The 1000-second-track stand-ins (a few larger instances)."""
+    return [
+        ("pace1000-myciel5", mycielski_graph(5)),
+        ("pace1000-queen6x6", queen_graph(6, 6)),
+        ("pace1000-hypercube4", hypercube_graph(4)),
+    ]

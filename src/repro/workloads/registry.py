@@ -1,0 +1,55 @@
+"""Dataset registry: the named graph collections of the evaluation.
+
+Maps the dataset labels of Figure 5 / Table 2 to instance factories.  All
+factories are deterministic; instance lists are ``(name, Graph)`` pairs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..graphs.graph import Graph
+from . import pace, pgm, tpch
+
+Instances = list[tuple[str, Graph]]
+
+__all__ = ["DATASETS", "dataset", "dataset_names"]
+
+DATASETS: dict[str, Callable[[], Instances]] = {
+    "Alchemy": pgm.alchemy_instances,
+    "Pedigree": pgm.pedigree_instances,
+    "ProteinProtein": pgm.protein_protein_instances,
+    "ImageAlignment": pgm.image_alignment_instances,
+    "Pace2016-1000s": pace.pace1000_instances,
+    "ProteinFolding": pgm.protein_folding_instances,
+    "TPC-H": tpch.tpch_instances,
+    "Grids": pgm.grids_instances,
+    "CSP": pgm.csp_instances,
+    "Segmentation": pgm.segmentation_instances,
+    "DBN": pgm.dbn_instances,
+    "ObjectDetection": pgm.object_detection_instances,
+    "Promedas": pgm.promedas_instances,
+    "Pace2016-100s": pace.pace100_instances,
+}
+
+
+def dataset_names() -> list[str]:
+    """All registered dataset labels (Figure 5 row order)."""
+    return list(DATASETS)
+
+
+def dataset(name: str) -> Instances:
+    """Instantiate the named dataset.
+
+    Raises
+    ------
+    KeyError
+        If ``name`` is not registered.
+    """
+    try:
+        factory = DATASETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {', '.join(DATASETS)}"
+        ) from None
+    return factory()

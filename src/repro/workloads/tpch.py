@@ -1,0 +1,138 @@
+"""Gaifman graphs of the 22 TPC-H benchmark queries.
+
+The paper evaluates on "Gaifman graphs of conjunctive queries translated
+from the TPC-H benchmark" (following Carmeli et al.).  A query's Gaifman
+(primal) graph has one vertex per relation atom and an edge between atoms
+that share a variable — i.e. between relations connected by a join
+predicate (including via selection on a shared key).
+
+The TPC-H query text is public; the graphs below are hand-encoded from the
+equi-join structure of each query's main FROM/WHERE block (correlated
+subqueries over the same relations re-use the outer atom's vertex, as a
+conjunctive-query translation would after decorrelation).  These graphs
+are tiny (≤ 8 atoms); the paper notes enumerating all of their minimal
+triangulations takes seconds, and the same holds here — they appear in the
+Figure 5 tractability study, not in Table 2.
+
+Relation-name abbreviations: L=lineitem, O=orders, C=customer, P=part,
+S=supplier, PS=partsupp, N=nation, R=region, N2/S2/L2/L3=additional atoms
+of the same relation.
+"""
+
+from __future__ import annotations
+
+from ..graphs.graph import Graph
+
+__all__ = ["tpch_query_graph", "tpch_instances", "TPCH_JOINS"]
+
+#: query number -> list of join edges between relation atoms.
+TPCH_JOINS: dict[int, list[tuple[str, str]]] = {
+    # Q1: pricing summary — lineitem only.
+    1: [],
+    # Q2: minimum cost supplier.
+    2: [
+        ("P", "PS"),
+        ("S", "PS"),
+        ("S", "N"),
+        ("N", "R"),
+    ],
+    # Q3: shipping priority.
+    3: [("C", "O"), ("O", "L")],
+    # Q4: order priority check (EXISTS subquery joins orders-lineitem).
+    4: [("O", "L")],
+    # Q5: local supplier volume; c_nationkey = s_nationkey closes a triangle.
+    5: [
+        ("C", "O"),
+        ("O", "L"),
+        ("L", "S"),
+        ("S", "N"),
+        ("C", "N"),
+        ("C", "S"),
+        ("N", "R"),
+    ],
+    # Q6: forecasting revenue change — lineitem only.
+    6: [],
+    # Q7: volume shipping; two nation atoms.
+    7: [
+        ("S", "L"),
+        ("O", "L"),
+        ("C", "O"),
+        ("S", "N"),
+        ("C", "N2"),
+    ],
+    # Q8: national market share; two nation atoms.
+    8: [
+        ("P", "L"),
+        ("S", "L"),
+        ("L", "O"),
+        ("O", "C"),
+        ("C", "N"),
+        ("N", "R"),
+        ("S", "N2"),
+    ],
+    # Q9: product type profit measure.
+    9: [
+        ("P", "L"),
+        ("S", "L"),
+        ("L", "PS"),
+        ("PS", "P"),
+        ("PS", "S"),
+        ("O", "L"),
+        ("S", "N"),
+    ],
+    # Q10: returned item reporting.
+    10: [("C", "O"), ("O", "L"), ("C", "N")],
+    # Q11: important stock identification.
+    11: [("PS", "S"), ("S", "N")],
+    # Q12: shipping modes and order priority.
+    12: [("O", "L")],
+    # Q13: customer distribution (left join).
+    13: [("C", "O")],
+    # Q14: promotion effect.
+    14: [("L", "P")],
+    # Q15: top supplier (view over lineitem).
+    15: [("S", "L")],
+    # Q16: parts/supplier relationship.
+    16: [("PS", "P"), ("PS", "S")],
+    # Q17: small-quantity-order revenue; correlated lineitem atom.
+    17: [("L", "P"), ("L2", "P")],
+    # Q18: large volume customer; lineitem appears in IN-subquery too.
+    18: [("C", "O"), ("O", "L"), ("O", "L2")],
+    # Q19: discounted revenue.
+    19: [("L", "P")],
+    # Q20: potential part promotion.
+    20: [("S", "N"), ("PS", "S"), ("PS", "P"), ("PS", "L"), ("L", "P")],
+    # Q21: suppliers who kept orders waiting; three lineitem atoms.
+    21: [
+        ("S", "L"),
+        ("O", "L"),
+        ("S", "N"),
+        ("L", "L2"),
+        ("L", "L3"),
+        ("O", "L2"),
+        ("O", "L3"),
+    ],
+    # Q22: global sales opportunity (customer anti-join orders).
+    22: [("C", "O")],
+}
+
+#: atoms used by queries whose graph has isolated or single vertices.
+_SINGLE_ATOMS: dict[int, list[str]] = {1: ["L"], 6: ["L"]}
+
+
+def tpch_query_graph(query: int) -> Graph:
+    """The Gaifman graph of TPC-H query ``query`` (1-22).
+
+    Raises
+    ------
+    KeyError
+        If ``query`` is not in 1..22.
+    """
+    joins = TPCH_JOINS[query]
+    vertices = _SINGLE_ATOMS.get(query, [])
+    return Graph(vertices=vertices, edges=joins)
+
+
+def tpch_instances() -> list[tuple[str, Graph]]:
+    """All 22 query graphs as ``(name, graph)`` pairs."""
+    return [(f"tpch-q{q}", tpch_query_graph(q)) for q in sorted(TPCH_JOINS)]

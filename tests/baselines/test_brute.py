@@ -1,0 +1,61 @@
+"""Tests for the exhaustive enumeration oracles (and their agreement)."""
+
+import pytest
+
+from repro.baselines.brute import (
+    minimal_triangulations_bruteforce,
+    minimal_triangulations_via_mis,
+)
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    paper_example_graph,
+    path_graph,
+)
+from repro.triangulation.minimality import is_minimal_triangulation
+from tests.conftest import connected_random_graphs, fill_key
+
+
+class TestBruteforce:
+    def test_chordal_graph_unique(self):
+        g = path_graph(5)
+        results = minimal_triangulations_bruteforce(g)
+        assert len(results) == 1
+        assert results[0] == g
+
+    def test_cycle_counts(self):
+        # Minimal triangulations of C_n = triangulations of a polygon
+        # = Catalan(n-2):  C4 → 2, C5 → 5, C6 → 14.
+        assert len(minimal_triangulations_bruteforce(cycle_graph(4))) == 2
+        assert len(minimal_triangulations_bruteforce(cycle_graph(5))) == 5
+        assert len(minimal_triangulations_bruteforce(cycle_graph(6))) == 14
+
+    def test_paper_example(self, paper_graph):
+        assert len(minimal_triangulations_bruteforce(paper_graph)) == 2
+
+    def test_every_output_minimal(self):
+        for g in connected_random_graphs(6, 0.4, 5, seed_base=1900):
+            for h in minimal_triangulations_bruteforce(g):
+                assert is_minimal_triangulation(g, h)
+
+    def test_guard(self):
+        with pytest.raises(ValueError):
+            minimal_triangulations_bruteforce(erdos_renyi(12, 0.2, seed=0))
+
+
+class TestMisOracle:
+    def test_agrees_with_bruteforce(self):
+        for g in connected_random_graphs(7, 0.4, 8, seed_base=2000):
+            a = {fill_key(g, h) for h in minimal_triangulations_bruteforce(g)}
+            b = {fill_key(g, h) for h in minimal_triangulations_via_mis(g)}
+            assert a == b
+
+    def test_complete_graph(self):
+        results = minimal_triangulations_via_mis(complete_graph(4))
+        assert len(results) == 1
+
+    def test_catalan_on_c7(self):
+        # Catalan(5) = 42; brute force over 14 non-edges is slow, the MIS
+        # oracle is the fast ground truth at this size.
+        assert len(minimal_triangulations_via_mis(cycle_graph(7))) == 42

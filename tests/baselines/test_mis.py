@@ -1,0 +1,47 @@
+"""Tests for the generic maximal-independent-set enumeration."""
+
+import networkx as nx
+
+from repro.baselines.mis import maximal_independent_sets
+from repro.graphs.generators import erdos_renyi
+
+
+def networkx_mis(graph):
+    """Ground truth: maximal cliques of the complement."""
+    complement = nx.complement(graph.to_networkx())
+    return {frozenset(c) for c in nx.find_cliques(complement)}
+
+
+class TestMis:
+    def test_empty_universe(self):
+        assert list(maximal_independent_sets([], lambda a, b: False)) == [frozenset()]
+
+    def test_no_edges_single_set(self):
+        out = list(maximal_independent_sets([1, 2, 3], lambda a, b: False))
+        assert out == [frozenset({1, 2, 3})]
+
+    def test_complete_graph_singletons(self):
+        out = set(maximal_independent_sets([1, 2, 3], lambda a, b: a != b))
+        assert out == {frozenset({1}), frozenset({2}), frozenset({3})}
+
+    def test_path(self):
+        # path 1-2-3-4: MIS = {1,3}, {1,4}, {2,4}
+        edges = {frozenset({1, 2}), frozenset({2, 3}), frozenset({3, 4})}
+        out = set(
+            maximal_independent_sets(
+                [1, 2, 3, 4], lambda a, b: frozenset({a, b}) in edges
+            )
+        )
+        assert out == {frozenset({1, 3}), frozenset({1, 4}), frozenset({2, 4})}
+
+    def test_matches_networkx_random(self):
+        for seed in range(15):
+            g = erdos_renyi(9, 0.4, seed=seed)
+            vertices = sorted(g.vertices)
+            out = set(maximal_independent_sets(vertices, g.has_edge))
+            assert out == networkx_mis(g), seed
+
+    def test_no_duplicates(self):
+        g = erdos_renyi(10, 0.3, seed=3)
+        out = list(maximal_independent_sets(sorted(g.vertices), g.has_edge))
+        assert len(out) == len(set(out))

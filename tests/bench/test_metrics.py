@@ -1,0 +1,72 @@
+"""Tests for the Table 2 metrics."""
+
+import math
+
+from repro.bench.harness import TimedResult, TimedRun
+from repro.bench.metrics import (
+    aggregate_metrics,
+    compute_metrics,
+    relative_percent,
+)
+
+
+def make_run(times_widths_fills, init=0.5, failed=None):
+    run = TimedRun(
+        algorithm="alg", graph_name="g", budget_seconds=10.0, init_seconds=init
+    )
+    run.failed = failed
+    for t, w, f in times_widths_fills:
+        run.results.append(TimedResult(elapsed_seconds=t, width=w, fill=f))
+    return run
+
+
+class TestComputeMetrics:
+    def test_basic(self):
+        run = make_run([(1.0, 3, 10), (2.0, 3, 12), (4.0, 4, 11)], init=1.0)
+        m = compute_metrics(run)
+        assert m.count == 3
+        assert m.delay == 4.0 / 3
+        assert m.delay_no_init == 1.0
+        assert m.min_width == 3
+        assert m.num_min_width == 2
+        assert m.min_fill == 10
+        assert m.num_min_fill == 1
+        # widths within 1.1 * 3 = 3.3 → the two 3s; fills within 11.0 → 10, 11
+        assert m.num_near_width == 2
+        assert m.num_near_fill == 2
+
+    def test_empty_run(self):
+        m = compute_metrics(make_run([]))
+        assert m.count == 0
+        assert math.isinf(m.delay)
+        assert m.min_width is None
+
+    def test_failed_run(self):
+        m = compute_metrics(make_run([(1.0, 3, 4)], failed="blew up"))
+        assert m.failed
+        assert m.count == 0
+
+
+class TestAggregate:
+    def test_sums_and_means(self):
+        a = compute_metrics(make_run([(1.0, 3, 5), (2.0, 3, 6)], init=1.0))
+        b = compute_metrics(make_run([(2.0, 2, 4)], init=3.0))
+        agg = aggregate_metrics([a, b])
+        assert agg["count"] == 3
+        assert agg["init"] == 2.0
+        assert agg["num_min_width"] == 3  # 2 + 1
+        assert agg["graphs"] == 2
+
+    def test_all_failed(self):
+        agg = aggregate_metrics([compute_metrics(make_run([], failed="x"))])
+        assert agg["count"] == 0
+        assert math.isinf(agg["delay"])
+
+
+class TestRelativePercent:
+    def test_normal(self):
+        assert relative_percent(12.2, 100) == 12.2
+
+    def test_zero_reference(self):
+        assert relative_percent(0, 0) == 100.0
+        assert math.isinf(relative_percent(5, 0))

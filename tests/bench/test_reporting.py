@@ -1,0 +1,60 @@
+"""Tests for report rendering and persistence."""
+
+import json
+
+from repro.bench.reporting import (
+    ascii_series,
+    format_table,
+    format_value,
+    save_report,
+)
+
+
+class TestFormatValue:
+    def test_floats(self):
+        assert format_value(3.0) == "3"
+        assert format_value(3.14159) == "3.14"
+        assert format_value(0.00123) == "0.0012"
+        assert format_value(float("inf")) == "inf"
+        assert format_value(float("nan")) == "-"
+
+    def test_none_and_str(self):
+        assert format_value(None) == "-"
+        assert format_value("abc") == "abc"
+
+
+class TestFormatTable:
+    def test_renders_columns(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]
+        text = format_table(rows, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert "22" in text
+
+    def test_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+
+class TestAsciiSeries:
+    def test_renders(self):
+        chart = ascii_series([(0, 1), (1, 10), (2, 100)], log_y=True)
+        assert "*" in chart
+
+    def test_empty(self):
+        assert ascii_series([]) == "(no points)\n"
+
+
+class TestSaveReport:
+    def test_writes_json_and_txt(self, tmp_path):
+        rows = [{"x": 1, "s": frozenset({"a"})}]
+        path = save_report("demo", rows, "table text", base=tmp_path)
+        assert path.exists()
+        data = json.loads(path.read_text())
+        assert data[0]["x"] == 1
+        assert (tmp_path / "demo.txt").read_text() == "table text"

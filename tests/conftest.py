@@ -1,0 +1,61 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_graph,
+    paper_example_graph,
+    path_graph,
+    tree_graph,
+)
+
+
+def fill_key(graph: Graph, triangulation: Graph) -> frozenset:
+    """Canonical identity of a triangulation: its fill edge set."""
+    return frozenset(
+        frozenset(e) for e in triangulation.edges() if not graph.has_edge(*e)
+    )
+
+
+def connected_random_graphs(n: int, p: float, count: int, seed_base: int = 0):
+    """Up to ``count`` connected G(n, p) samples (deterministic seeds)."""
+    out = []
+    seed = seed_base
+    while len(out) < count and seed < seed_base + 10 * count + 50:
+        g = erdos_renyi(n, p, seed=seed)
+        seed += 1
+        if g.num_vertices() and g.is_connected():
+            out.append(g)
+    return out
+
+
+@pytest.fixture
+def paper_graph() -> Graph:
+    """The running example of the paper (Figure 1(a))."""
+    return paper_example_graph()
+
+
+@pytest.fixture
+def small_graph_zoo() -> list[Graph]:
+    """A diverse corpus of small graphs for cross-validation tests."""
+    zoo = [
+        path_graph(1),
+        path_graph(2),
+        path_graph(5),
+        cycle_graph(4),
+        cycle_graph(6),
+        complete_graph(4),
+        grid_graph(2, 3),
+        grid_graph(3, 3),
+        tree_graph(7, seed=1),
+        paper_example_graph(),
+    ]
+    zoo.extend(connected_random_graphs(7, 0.4, 4, seed_base=100))
+    zoo.extend(connected_random_graphs(8, 0.3, 3, seed_base=200))
+    return zoo

@@ -1,0 +1,84 @@
+"""Tests for the diversity extension (paper §8 future work)."""
+
+from repro.core.diversity import (
+    diverse_top_k,
+    max_min_dispersion_k,
+    triangulation_distance,
+)
+from repro.core.ranked import top_k_triangulations
+from repro.costs.classic import FillInCost, WidthCost
+from repro.graphs.generators import cycle_graph, paper_example_graph
+
+
+class TestDistance:
+    def test_zero_iff_same(self, paper_graph):
+        a, b = top_k_triangulations(paper_graph, WidthCost(), 2)
+        assert triangulation_distance(a, a) == 0
+        assert triangulation_distance(a, b) > 0
+
+    def test_symmetric(self, paper_graph):
+        a, b = top_k_triangulations(paper_graph, WidthCost(), 2)
+        assert triangulation_distance(a, b) == triangulation_distance(b, a)
+
+    def test_paper_example_value(self, paper_graph):
+        # Fill sets: {uv} vs {w1w2, w1w3, w2w3} → symmetric difference 4.
+        a, b = top_k_triangulations(paper_graph, FillInCost(), 2)
+        assert triangulation_distance(a, b) == 4
+
+
+class TestDiverseTopK:
+    def test_min_distance_one_is_plain_top_k(self):
+        g = cycle_graph(6)
+        plain = top_k_triangulations(g, FillInCost(), 5)
+        diverse = diverse_top_k(g, FillInCost(), 5, min_distance=1)
+        assert [t.bags for t in diverse] == [t.bags for t in plain]
+
+    def test_pairwise_separation_enforced(self):
+        g = cycle_graph(7)
+        kept = diverse_top_k(g, FillInCost(), 6, min_distance=4)
+        for i, a in enumerate(kept):
+            for b in kept[i + 1 :]:
+                assert triangulation_distance(a, b) >= 4
+
+    def test_first_is_optimum(self):
+        g = cycle_graph(7)
+        kept = diverse_top_k(g, FillInCost(), 3, min_distance=3)
+        assert kept[0].cost == 4  # C7 optimum fill = n - 3
+
+    def test_respects_scan_limit(self):
+        g = cycle_graph(7)
+        kept = diverse_top_k(g, FillInCost(), 10, min_distance=100, scan_limit=5)
+        assert len(kept) == 1  # nothing is 100 apart; only the optimum kept
+
+    def test_k_zero(self):
+        assert diverse_top_k(cycle_graph(5), FillInCost(), 0) == []
+
+
+class TestMaxMinDispersion:
+    def test_selects_k(self):
+        g = cycle_graph(7)
+        pool = top_k_triangulations(g, FillInCost(), 12)
+        chosen = max_min_dispersion_k(pool, 4)
+        assert len(chosen) == 4
+        assert chosen[0].bags == pool[0].bags  # seeded with the optimum
+
+    def test_dispersion_not_worse_than_prefix(self):
+        g = cycle_graph(7)
+        pool = top_k_triangulations(g, FillInCost(), 12)
+
+        def min_dist(ts):
+            return min(
+                triangulation_distance(a, b)
+                for i, a in enumerate(ts)
+                for b in ts[i + 1 :]
+            )
+
+        greedy = max_min_dispersion_k(pool, 4)
+        prefix = pool[:4]
+        assert min_dist(greedy) >= min_dist(prefix)
+
+    def test_small_pool(self):
+        g = cycle_graph(4)
+        pool = top_k_triangulations(g, FillInCost(), 2)
+        assert len(max_min_dispersion_k(pool, 10)) == 2
+        assert max_min_dispersion_k([], 3) == []

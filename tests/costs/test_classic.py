@@ -1,0 +1,104 @@
+"""Tests for the classic bag costs: width, fill-in, lex, sum-exp."""
+
+import pytest
+
+from repro.costs.classic import (
+    FillInCost,
+    LexWidthFillCost,
+    SumExpBagCost,
+    WidthCost,
+    count_fill_edges,
+)
+from repro.graphs.chordal import maximal_cliques_chordal
+from repro.graphs.generators import cycle_graph, erdos_renyi, paper_example_graph
+from repro.triangulation.lb_triang import lb_triang
+
+
+class TestWidth:
+    def test_basic(self):
+        g = cycle_graph(4)
+        assert WidthCost().evaluate(g, [frozenset({0, 1, 2}), frozenset({0, 2, 3})]) == 2
+
+    def test_empty(self):
+        assert WidthCost().evaluate(cycle_graph(4), []) == -1
+
+    def test_of_triangulation(self):
+        g = cycle_graph(6)
+        h = lb_triang(g)
+        assert WidthCost().of_triangulation(g, h) == 2
+
+
+class TestFillIn:
+    def test_counts_distinct_pairs(self):
+        g = cycle_graph(4)
+        bags = [frozenset({0, 1, 2}), frozenset({0, 2, 3})]
+        # the single chord {0,2} appears in both bags but counts once
+        assert FillInCost().evaluate(g, bags) == 1
+
+    def test_no_fill_for_cliques(self):
+        g = paper_example_graph()
+        bags = [frozenset({"u", "w1"}), frozenset({"v", "v'"})]
+        assert FillInCost().evaluate(g, bags) == 0
+
+    def test_matches_edge_difference(self):
+        for seed in range(10):
+            g = erdos_renyi(9, 0.35, seed=seed)
+            h = lb_triang(g)
+            bags = maximal_cliques_chordal(h)
+            assert FillInCost().evaluate(g, bags) == h.num_edges() - g.num_edges()
+
+    def test_count_fill_edges_direct(self):
+        g = cycle_graph(5)
+        assert count_fill_edges(g, [frozenset({0, 1, 2, 3})]) == 3  # 02, 03, 13
+
+
+class TestLexWidthFill:
+    def test_orders_width_before_fill(self):
+        g = paper_example_graph()
+        cost = LexWidthFillCost(g)
+        # H1 bags: width 3, fill 3.  H2 bags: width 2, fill 1.
+        h1_bags = [
+            frozenset({"u", "w1", "w2", "w3"}),
+            frozenset({"v", "w1", "w2", "w3"}),
+            frozenset({"v", "v'"}),
+        ]
+        h2_bags = [
+            frozenset({"u", "v", "w1"}),
+            frozenset({"u", "v", "w2"}),
+            frozenset({"u", "v", "w3"}),
+            frozenset({"v", "v'"}),
+        ]
+        assert cost.evaluate(g, h2_bags) < cost.evaluate(g, h1_bags)
+        # |E| * width + fill exactly:
+        assert cost.evaluate(g, h2_bags) == 7 * 2 + 1
+        assert cost.evaluate(g, h1_bags) == 7 * 3 + 3
+
+    def test_explicit_scale(self):
+        g = cycle_graph(4)
+        cost = LexWidthFillCost(g, scale=1000)
+        assert cost.evaluate(g, [frozenset({0, 1, 2}), frozenset({0, 2, 3})]) == 2001
+
+    def test_edgeless_fallback(self):
+        from repro.graphs.graph import Graph
+
+        g = Graph(vertices=[1, 2])
+        cost = LexWidthFillCost(g)
+        assert cost.evaluate(g, [frozenset({1}), frozenset({2})]) >= 0
+
+
+class TestSumExp:
+    def test_value(self):
+        g = cycle_graph(4)
+        bags = [frozenset({0, 1, 2}), frozenset({0, 2, 3})]
+        assert SumExpBagCost(2.0).evaluate(g, bags) == 16.0
+
+    def test_base_validation(self):
+        with pytest.raises(ValueError):
+            SumExpBagCost(1.0)
+
+    def test_prefers_balanced_bags(self):
+        g = cycle_graph(6)
+        big = [frozenset(range(5))]
+        small = [frozenset({0, 1, 2}), frozenset({2, 3, 4}), frozenset({4, 5, 0})]
+        cost = SumExpBagCost(2.0)
+        assert cost.evaluate(g, small) < cost.evaluate(g, big)

@@ -1,0 +1,105 @@
+"""Tests for hypertree-width and fractional-hypertree-width bag costs."""
+
+import pytest
+
+from repro.costs.hypergraph import (
+    FractionalHypertreeWidthCost,
+    Hypergraph,
+    HypertreeWidthCost,
+    fractional_cover_weight,
+    minimum_edge_cover_size,
+)
+
+
+def triangle_query() -> Hypergraph:
+    """R(a,b) ⋈ S(b,c) ⋈ T(c,a) — the classic fhw = 3/2 example."""
+    return Hypergraph([("a", "b"), ("b", "c"), ("c", "a")])
+
+
+class TestHypergraph:
+    def test_primal_graph(self):
+        h = Hypergraph([(1, 2, 3), (3, 4)])
+        g = h.primal_graph()
+        assert g.has_edge(1, 2) and g.has_edge(2, 3) and g.has_edge(3, 4)
+        assert not g.has_edge(1, 4)
+
+    def test_rejects_empty_edge(self):
+        with pytest.raises(ValueError):
+            Hypergraph([()])
+
+    def test_covering_edges(self):
+        h = Hypergraph([(1, 2), (2, 3)])
+        assert len(h.covering_edges(2)) == 2
+        assert len(h.covering_edges(1)) == 1
+
+
+class TestIntegralCover:
+    def test_single_edge_suffices(self):
+        h = Hypergraph([(1, 2, 3), (3, 4)])
+        assert minimum_edge_cover_size(h, frozenset({1, 2})) == 1
+
+    def test_triangle_needs_two(self):
+        h = triangle_query()
+        assert minimum_edge_cover_size(h, frozenset({"a", "b", "c"})) == 2
+
+    def test_uncoverable(self):
+        h = Hypergraph([(1, 2)])
+        with pytest.raises(ValueError):
+            minimum_edge_cover_size(h, frozenset({3}))
+
+    def test_chain(self):
+        h = Hypergraph([(1, 2), (2, 3), (3, 4), (4, 5)])
+        assert minimum_edge_cover_size(h, frozenset({1, 3, 5})) == 3
+        assert minimum_edge_cover_size(h, frozenset({2, 3})) == 1
+
+    def test_greedy_trap(self):
+        # Greedy would take the big edge {1,2,3,4} then need two more;
+        # the optimum is two edges {1,2,3} ∪ {4,5,6} — wait, build a real
+        # trap: universe {1..6}, edges {3,4}, {1,2,3}, {4,5,6}.
+        h = Hypergraph([(3, 4), (1, 2, 3), (4, 5, 6)])
+        assert minimum_edge_cover_size(h, frozenset(range(1, 7))) == 2
+
+
+class TestFractionalCover:
+    def test_triangle_is_three_halves(self):
+        h = triangle_query()
+        assert fractional_cover_weight(
+            h, frozenset({"a", "b", "c"})
+        ) == pytest.approx(1.5)
+
+    def test_single_edge(self):
+        h = Hypergraph([(1, 2)])
+        assert fractional_cover_weight(h, frozenset({1, 2})) == pytest.approx(1.0)
+
+    def test_never_exceeds_integral(self):
+        h = Hypergraph([(1, 2), (2, 3), (3, 1), (1, 4), (4, 5)])
+        for bag in [frozenset({1, 2, 3}), frozenset({1, 4, 5}), frozenset({2, 3, 4})]:
+            frac = fractional_cover_weight(h, bag)
+            integral = minimum_edge_cover_size(h, bag)
+            assert frac <= integral + 1e-9
+
+
+class TestWidthCosts:
+    def test_hypertree_width_cost(self):
+        h = triangle_query()
+        g = h.primal_graph()
+        cost = HypertreeWidthCost(h)
+        # one bag with the whole triangle: ghw candidate value 2
+        assert cost.evaluate(g, [frozenset({"a", "b", "c"})]) == 2.0
+
+    def test_fractional_cost(self):
+        h = triangle_query()
+        g = h.primal_graph()
+        cost = FractionalHypertreeWidthCost(h)
+        assert cost.evaluate(g, [frozenset({"a", "b", "c"})]) == pytest.approx(1.5)
+
+    def test_caching_consistency(self):
+        h = triangle_query()
+        g = h.primal_graph()
+        cost = HypertreeWidthCost(h)
+        bag = frozenset({"a", "b"})
+        assert cost.evaluate(g, [bag]) == cost.evaluate(g, [bag]) == 1.0
+
+    def test_empty_bags(self):
+        h = triangle_query()
+        assert HypertreeWidthCost(h).evaluate(h.primal_graph(), []) == 0.0

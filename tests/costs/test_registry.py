@@ -1,0 +1,38 @@
+"""Tests for the cost registry."""
+
+import pytest
+
+from repro.costs.classic import WidthCost
+from repro.costs.registry import available_costs, make_cost, register_cost
+from repro.graphs.generators import cycle_graph
+
+
+class TestRegistry:
+    def test_builtins_present(self):
+        names = available_costs()
+        for expected in ("width", "fill", "lex-width-fill", "sum-exp-bags"):
+            assert expected in names
+
+    def test_make_width(self):
+        g = cycle_graph(5)
+        cost = make_cost("width", g)
+        assert cost.evaluate(g, [frozenset({0, 1, 2})]) == 2
+
+    def test_make_lex_uses_graph(self):
+        g = cycle_graph(5)
+        cost = make_cost("lex-width-fill", g)
+        assert cost.evaluate(g, [frozenset({0, 1})]) == 5.0  # |E|*1 + 0
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            make_cost("nope", cycle_graph(4))
+
+    def test_register_custom(self):
+        register_cost("test-width-clone", lambda g: WidthCost())
+        try:
+            g = cycle_graph(4)
+            assert make_cost("test-width-clone", g).evaluate(g, [frozenset({0, 1})]) == 1
+        finally:
+            from repro.costs import registry
+
+            registry._FACTORIES.pop("test-width-clone", None)

@@ -1,0 +1,74 @@
+"""Tests for the Furuse–Yamazaki weighted width/fill costs."""
+
+import math
+
+import pytest
+
+from repro.costs.weighted import (
+    WeightedFillCost,
+    WeightedWidthCost,
+    vertex_weight_bag_cost,
+)
+from repro.graphs.generators import cycle_graph, paper_example_graph
+
+
+class TestBagWeightBuilders:
+    def test_sum(self):
+        w = vertex_weight_bag_cost({1: 2.0, 2: 3.0, 3: 5.0}, mode="sum")
+        assert w(frozenset({1, 3})) == 7.0
+
+    def test_product(self):
+        w = vertex_weight_bag_cost({1: 2.0, 2: 3.0}, mode="product")
+        assert w(frozenset({1, 2})) == 6.0
+
+    def test_log_product(self):
+        w = vertex_weight_bag_cost({1: 2.0, 2: 4.0}, mode="log-product")
+        assert w(frozenset({1, 2})) == pytest.approx(math.log(8.0))
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            vertex_weight_bag_cost({}, mode="median")
+
+
+class TestWeightedWidth:
+    def test_reduces_to_width(self):
+        g = cycle_graph(5)
+        cost = WeightedWidthCost(lambda b: len(b) - 1)
+        assert cost.evaluate(g, [frozenset({0, 1, 2}), frozenset({0, 2})]) == 2
+
+    def test_domain_weights_change_the_optimum(self):
+        # Same cardinality bags; the weighted cost distinguishes them.
+        g = paper_example_graph()
+        weights = {"u": 10.0, "v": 1.0, "v'": 1.0, "w1": 1.0, "w2": 1.0, "w3": 1.0}
+        cost = WeightedWidthCost(vertex_weight_bag_cost(weights, mode="sum"))
+        with_u = [frozenset({"u", "w1", "w2"})]
+        without_u = [frozenset({"v", "w1", "w2"})]
+        assert cost.evaluate(g, with_u) > cost.evaluate(g, without_u)
+
+    def test_empty_bags(self):
+        assert WeightedWidthCost(len).evaluate(cycle_graph(4), []) == 0.0
+
+
+class TestWeightedFill:
+    def test_uniform_weights_match_fill(self):
+        from repro.costs.classic import FillInCost
+
+        g = cycle_graph(6)
+        bags = [frozenset({0, 1, 2, 3}), frozenset({0, 3, 4, 5})]
+        uniform = WeightedFillCost(lambda u, v: 1.0)
+        assert uniform.evaluate(g, bags) == FillInCost().evaluate(g, bags)
+
+    def test_weighted_edges(self):
+        g = cycle_graph(4)
+        # fill edges {0,2} and {1,3} with different prices
+        def price(u, v):
+            return 10.0 if frozenset((u, v)) == frozenset({0, 2}) else 1.0
+
+        cost = WeightedFillCost(price)
+        assert cost.evaluate(g, [frozenset({0, 1, 2})]) == 10.0
+        assert cost.evaluate(g, [frozenset({1, 2, 3})]) == 1.0
+
+    def test_duplicate_bags_count_once(self):
+        g = cycle_graph(4)
+        bags = [frozenset({0, 1, 2}), frozenset({0, 1, 2})]
+        assert WeightedFillCost(lambda u, v: 1.0).evaluate(g, bags) == 1.0

@@ -1,0 +1,128 @@
+"""Tests for clique trees and chordal minimal separators."""
+
+import pytest
+
+from repro.graphs.chordal import is_chordal, maximal_cliques_chordal
+from repro.graphs.cliquetree import (
+    clique_tree,
+    clique_tree_from_cliques,
+    minimal_separators_chordal,
+)
+from repro.graphs.generators import (
+    complete_graph,
+    erdos_renyi,
+    path_graph,
+    star_graph,
+    tree_graph,
+)
+from repro.graphs.graph import Graph
+
+
+def junction_property_holds(bags, edges) -> bool:
+    """Check the junction-tree property of a clique tree by brute force."""
+    adjacency = {b: [] for b in bags}
+    for a, b in edges:
+        adjacency[a].append(b)
+        adjacency[b].append(a)
+    vertices = set()
+    for b in bags:
+        vertices |= b
+
+    def occurrences_connected(v) -> bool:
+        nodes = [b for b in bags if v in b]
+        if len(nodes) <= 1:
+            return True
+        seen = {nodes[0]}
+        stack = [nodes[0]]
+        while stack:
+            u = stack.pop()
+            for w in adjacency[u]:
+                if v in w and w not in seen:
+                    seen.add(w)
+                    stack.append(w)
+        return len(seen) == len(nodes)
+
+    return all(occurrences_connected(v) for v in vertices)
+
+
+class TestCliqueTree:
+    def test_path(self):
+        bags, edges = clique_tree(path_graph(4))
+        assert len(bags) == 3
+        assert len(edges) == 2
+        assert junction_property_holds(bags, edges)
+
+    def test_complete(self):
+        bags, edges = clique_tree(complete_graph(5))
+        assert len(bags) == 1
+        assert edges == []
+
+    def test_star(self):
+        bags, edges = clique_tree(star_graph(4))
+        assert all(len(b) == 2 for b in bags)
+        assert len(edges) == 3
+
+    def test_random_chordal_junction_property(self):
+        # Random chordal connected graphs via LB-Triang of G(n, p) samples.
+        from repro.triangulation.lb_triang import lb_triang
+
+        found = 0
+        for seed in range(20):
+            base = erdos_renyi(10, 0.3, seed=seed)
+            if not base.is_connected():
+                continue
+            g = lb_triang(base)
+            assert is_chordal(g)
+            found += 1
+            bags, edges = clique_tree(g)
+            assert bags == maximal_cliques_chordal(g)
+            assert len(edges) == len(bags) - 1
+            assert junction_property_holds(bags, edges)
+        assert found >= 5  # the sweep must actually exercise cases
+
+    def test_disconnected_stitched(self):
+        g = Graph(edges=[(1, 2), (3, 4)])
+        bags, edges = clique_tree(g)
+        assert len(bags) == 2
+        assert len(edges) == 1  # forest stitched into a tree
+
+
+class TestChordalSeparators:
+    def test_path(self):
+        seps = minimal_separators_chordal(path_graph(4))
+        assert seps == {frozenset({1}), frozenset({2})}
+
+    def test_complete_has_none(self):
+        assert minimal_separators_chordal(complete_graph(4)) == set()
+
+    def test_tree_separators_are_internal_vertices(self):
+        g = tree_graph(10, seed=3)
+        seps = minimal_separators_chordal(g)
+        internal = {v for v in g.vertices if g.degree(v) >= 2}
+        assert seps == {frozenset({v}) for v in internal}
+
+    def test_matches_direct_enumeration(self):
+        from repro.separators.berry import minimal_separators
+
+        for seed in range(40):
+            g = erdos_renyi(8, 0.5, seed=seed)
+            if not is_chordal(g) or not g.is_connected():
+                continue
+            assert minimal_separators_chordal(g) == minimal_separators(g)
+
+    def test_nonchordal_raises(self):
+        from repro.graphs.generators import cycle_graph
+
+        with pytest.raises(ValueError):
+            minimal_separators_chordal(cycle_graph(4))
+
+
+class TestFromCliques:
+    def test_max_weight_choice(self):
+        # Two big cliques sharing two vertices and a small one sharing one:
+        # the tree must join the big cliques directly (weight 2 edge).
+        a = frozenset({1, 2, 3})
+        b = frozenset({2, 3, 4})
+        c = frozenset({4, 5})
+        edges = clique_tree_from_cliques({a, b, c})
+        assert (a, b) in edges or (b, a) in edges

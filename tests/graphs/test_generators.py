@@ -1,0 +1,126 @@
+"""Tests for the deterministic graph generators."""
+
+import pytest
+
+from repro.graphs.generators import (
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    gnm_random,
+    grid_graph,
+    hypercube_graph,
+    mycielski_graph,
+    paper_example_graph,
+    path_graph,
+    petersen_graph,
+    queen_graph,
+    star_graph,
+    tree_graph,
+)
+
+
+class TestDeterministicShapes:
+    def test_path(self):
+        g = path_graph(5)
+        assert g.num_vertices() == 5
+        assert g.num_edges() == 4
+
+    def test_cycle(self):
+        g = cycle_graph(6)
+        assert g.num_edges() == 6
+        assert all(g.degree(v) == 2 for v in g.vertices)
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_complete(self):
+        assert complete_graph(6).num_edges() == 15
+
+    def test_bipartite(self):
+        g = complete_bipartite_graph(2, 3)
+        assert g.num_edges() == 6
+        assert not g.has_edge(0, 1)
+
+    def test_star(self):
+        g = star_graph(5)
+        assert g.degree(0) == 5
+        assert g.num_edges() == 5
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.num_vertices() == 12
+        assert g.num_edges() == 3 * 3 + 2 * 4  # 17
+
+    def test_hypercube(self):
+        g = hypercube_graph(3)
+        assert g.num_vertices() == 8
+        assert g.num_edges() == 12
+        assert all(g.degree(v) == 3 for v in g.vertices)
+
+    def test_petersen(self):
+        g = petersen_graph()
+        assert g.num_vertices() == 10
+        assert g.num_edges() == 15
+        assert all(g.degree(v) == 3 for v in g.vertices)
+
+    def test_queen(self):
+        g = queen_graph(3, 3)
+        # center square attacks all 8 others
+        assert g.degree((1, 1)) == 8
+
+    def test_paper_example(self):
+        g = paper_example_graph()
+        assert g.num_vertices() == 6
+        assert g.num_edges() == 7
+
+
+class TestMycielski:
+    def test_sizes(self):
+        # |V(M_k)| = 3 * 2^(k-2) * ... known: M2=2, M3=5, M4=11, M5=23
+        assert mycielski_graph(2).num_vertices() == 2
+        assert mycielski_graph(3).num_vertices() == 5
+        assert mycielski_graph(4).num_vertices() == 11
+        assert mycielski_graph(5).num_vertices() == 23
+
+    def test_m3_is_c5(self):
+        g = mycielski_graph(3)
+        assert g.num_edges() == 5
+        assert all(g.degree(v) == 2 for v in g.vertices)
+
+    def test_triangle_free(self):
+        g = mycielski_graph(4)
+        for u in g.vertices:
+            for v in g.adj(u):
+                assert not (g.adj(u) & g.adj(v)), "triangle found"
+
+    def test_rejects_small_k(self):
+        with pytest.raises(ValueError):
+            mycielski_graph(1)
+
+
+class TestRandom:
+    def test_erdos_renyi_deterministic(self):
+        a = erdos_renyi(15, 0.3, seed=7)
+        b = erdos_renyi(15, 0.3, seed=7)
+        assert a == b
+
+    def test_erdos_renyi_seed_sensitivity(self):
+        a = erdos_renyi(15, 0.3, seed=7)
+        b = erdos_renyi(15, 0.3, seed=8)
+        assert a != b
+
+    def test_erdos_renyi_extremes(self):
+        assert erdos_renyi(8, 0.0, seed=1).num_edges() == 0
+        assert erdos_renyi(8, 1.0, seed=1).num_edges() == 28
+
+    def test_gnm(self):
+        g = gnm_random(10, 17, seed=5)
+        assert g.num_vertices() == 10
+        assert g.num_edges() == 17
+        with pytest.raises(ValueError):
+            gnm_random(4, 100, seed=0)
+
+    def test_tree(self):
+        g = tree_graph(12, seed=9)
+        assert g.num_edges() == 11
+        assert g.is_connected()

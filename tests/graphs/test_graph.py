@@ -1,0 +1,172 @@
+"""Unit tests for the core Graph data structure."""
+
+import pytest
+
+from repro.graphs.graph import Graph
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph()
+        assert g.num_vertices() == 0
+        assert g.num_edges() == 0
+        assert list(g.edges()) == []
+
+    def test_vertices_and_edges(self):
+        g = Graph(vertices=[1, 2], edges=[(2, 3), (3, 4)])
+        assert g.vertex_set() == {1, 2, 3, 4}
+        assert g.num_edges() == 2
+
+    def test_isolated_vertex(self):
+        g = Graph(vertices=["a"])
+        assert "a" in g
+        assert g.degree("a") == 0
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add_edge(1, 1)
+
+    def test_duplicate_edge_idempotent(self):
+        g = Graph(edges=[(1, 2), (1, 2), (2, 1)])
+        assert g.num_edges() == 1
+
+    def test_complete(self):
+        g = Graph.complete(range(5))
+        assert g.num_edges() == 10
+        assert g.is_clique(range(5))
+
+
+class TestMutation:
+    def test_remove_edge(self):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        g.remove_edge(1, 2)
+        assert not g.has_edge(1, 2)
+        assert g.has_edge(2, 3)
+        assert 1 in g  # vertex survives
+
+    def test_remove_missing_edge_raises(self):
+        g = Graph(edges=[(1, 2)])
+        with pytest.raises(KeyError):
+            g.remove_edge(1, 3)
+
+    def test_remove_vertex(self):
+        g = Graph(edges=[(1, 2), (2, 3), (1, 3)])
+        g.remove_vertex(2)
+        assert 2 not in g
+        assert g.has_edge(1, 3)
+        assert g.num_edges() == 1
+
+    def test_saturate(self):
+        g = Graph(vertices=range(4))
+        g.saturate([0, 1, 2])
+        assert g.is_clique([0, 1, 2])
+        assert not g.has_edge(0, 3)
+
+    def test_copy_independent(self):
+        g = Graph(edges=[(1, 2)])
+        h = g.copy()
+        h.add_edge(2, 3)
+        assert 3 not in g
+        assert g != h
+
+
+class TestQueries:
+    def test_neighbors(self):
+        g = Graph(edges=[(1, 2), (1, 3)])
+        assert g.neighbors(1) == {2, 3}
+        assert g.closed_neighborhood(1) == {1, 2, 3}
+
+    def test_neighborhood_of_set(self):
+        g = Graph(edges=[(1, 2), (2, 3), (3, 4)])
+        assert g.neighborhood_of_set({2, 3}) == {1, 4}
+        assert g.neighborhood_of_set({1}) == {2}
+
+    def test_is_clique_and_missing_edges(self):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        assert g.is_clique([1, 2])
+        assert not g.is_clique([1, 2, 3])
+        assert {frozenset(e) for e in g.missing_edges([1, 2, 3])} == {frozenset({1, 3})}
+
+    def test_edge_set(self):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        assert g.edge_set() == {frozenset({1, 2}), frozenset({2, 3})}
+
+    def test_equality(self):
+        a = Graph(edges=[(1, 2), (2, 3)])
+        b = Graph(edges=[(2, 3), (1, 2)])
+        assert a == b
+        b.add_edge(1, 3)
+        assert a != b
+
+
+class TestSubgraphs:
+    def test_induced_subgraph(self):
+        g = Graph(edges=[(1, 2), (2, 3), (3, 1), (3, 4)])
+        sub = g.subgraph({1, 2, 3})
+        assert sub.vertex_set() == {1, 2, 3}
+        assert sub.num_edges() == 3
+
+    def test_without(self):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        assert g.without({2}).num_edges() == 0
+
+    def test_union(self):
+        a = Graph(edges=[(1, 2)])
+        b = Graph(edges=[(2, 3)])
+        u = a.union(b)
+        assert u.num_edges() == 2
+        assert a.num_edges() == 1  # inputs untouched
+
+    def test_complement(self):
+        g = Graph(edges=[(1, 2)])
+        g.add_vertex(3)
+        comp = g.complement()
+        assert comp.edge_set() == {frozenset({1, 3}), frozenset({2, 3})}
+
+
+class TestConnectivity:
+    def test_components(self):
+        g = Graph(edges=[(1, 2), (3, 4)])
+        g.add_vertex(5)
+        comps = sorted(map(sorted, g.connected_components()))
+        assert comps == [[1, 2], [3, 4], [5]]
+
+    def test_components_without(self):
+        g = Graph(edges=[(1, 2), (2, 3), (3, 4), (4, 1)])
+        comps = sorted(map(sorted, g.components_without({1, 3})))
+        assert comps == [[2], [4]]
+
+    def test_component_of(self):
+        g = Graph(edges=[(1, 2), (2, 3), (4, 5)])
+        assert g.component_of(1) == {1, 2, 3}
+        assert g.component_of(1, removed={2}) == {1}
+        with pytest.raises(ValueError):
+            g.component_of(2, removed={2})
+
+    def test_is_connected(self):
+        assert Graph().is_connected()
+        assert Graph(edges=[(1, 2), (2, 3)]).is_connected()
+        assert not Graph(edges=[(1, 2), (3, 4)]).is_connected()
+
+    def test_bfs_order_prefix_connected(self):
+        g = Graph(edges=[(1, 2), (2, 3), (3, 4), (4, 5), (2, 5)])
+        order = g.bfs_order()
+        assert len(order) == 5
+        for i in range(1, 6):
+            assert g.subgraph(order[:i]).is_connected()
+
+
+class TestInterop:
+    def test_networkx_round_trip(self):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        g.add_vertex(9)
+        back = Graph.from_networkx(g.to_networkx())
+        assert back == g
+
+    def test_relabeled(self):
+        g = Graph(edges=[("a", "b"), ("b", "c")])
+        h, mapping = g.relabeled()
+        assert h.vertex_set() == {0, 1, 2}
+        assert h.num_edges() == 2
+        assert h.has_edge(mapping["a"], mapping["b"])

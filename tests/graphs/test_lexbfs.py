@@ -1,0 +1,73 @@
+"""Tests for Lex-BFS and its chordality decider."""
+
+import pytest
+
+from repro.graphs.chordal import is_chordal, is_perfect_elimination_order
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_graph,
+    path_graph,
+    star_graph,
+    tree_graph,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.lexbfs import is_chordal_lexbfs, lex_bfs, peo_via_lexbfs
+
+
+class TestLexBfs:
+    def test_visits_every_vertex_once(self):
+        g = grid_graph(3, 4)
+        order = lex_bfs(g)
+        assert sorted(order, key=repr) == sorted(g.vertices, key=repr)
+
+    def test_start_vertex(self):
+        g = path_graph(5)
+        assert lex_bfs(g, start=2)[0] == 2
+        with pytest.raises(KeyError):
+            lex_bfs(g, start=99)
+
+    def test_empty(self):
+        assert lex_bfs(Graph()) == []
+
+    def test_disconnected(self):
+        g = Graph(edges=[(1, 2), (3, 4)])
+        assert len(lex_bfs(g)) == 4
+
+    def test_prefix_neighbor_priority(self):
+        # After visiting the star center, all leaves outrank any
+        # hypothetical non-neighbor; on a path, the second visited vertex
+        # is always adjacent to the first.
+        g = path_graph(6)
+        order = lex_bfs(g, start=3)
+        assert order[1] in g.adj(3)
+
+
+class TestPeo:
+    def test_chordal_yields_peo(self):
+        for g in (path_graph(6), complete_graph(5), tree_graph(9, seed=1)):
+            peo = peo_via_lexbfs(g)
+            assert peo is not None
+            assert is_perfect_elimination_order(g, peo)
+
+    def test_non_chordal_yields_none(self):
+        assert peo_via_lexbfs(cycle_graph(5)) is None
+        assert peo_via_lexbfs(grid_graph(3, 3)) is None
+
+
+class TestAgreementWithMcs:
+    def test_matches_mcs_chordality_on_random(self):
+        for seed in range(60):
+            g = erdos_renyi(9, 0.45, seed=seed)
+            assert is_chordal_lexbfs(g) == is_chordal(g), seed
+
+    def test_matches_on_structured(self):
+        for g in (
+            star_graph(5),
+            cycle_graph(4),
+            cycle_graph(3),
+            grid_graph(2, 2),
+            complete_graph(6),
+        ):
+            assert is_chordal_lexbfs(g) == is_chordal(g)

@@ -1,0 +1,80 @@
+"""Tests for the treewidth lower bounds."""
+
+import pytest
+
+from repro.core.exact import treewidth
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_graph,
+    path_graph,
+    petersen_graph,
+    tree_graph,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.lowerbounds import (
+    clique_lower_bound,
+    degeneracy,
+    mmd_plus_lower_bound,
+    treewidth_lower_bound,
+)
+
+
+class TestDegeneracy:
+    @pytest.mark.parametrize(
+        "graph,expected",
+        [
+            (Graph(), -1),
+            (Graph(vertices=[1]), 0),
+            (path_graph(5), 1),
+            (cycle_graph(7), 2),
+            (complete_graph(5), 4),
+            (grid_graph(3, 3), 2),
+            (petersen_graph(), 3),
+            (tree_graph(9, seed=0), 1),
+        ],
+    )
+    def test_known_values(self, graph, expected):
+        assert degeneracy(graph) == expected
+
+
+class TestBoundsAreSound:
+    def test_never_exceed_exact_treewidth(self):
+        corpus = [
+            path_graph(6),
+            cycle_graph(6),
+            grid_graph(3, 3),
+            petersen_graph(),
+            complete_graph(5),
+        ]
+        corpus += [erdos_renyi(10, 0.3, seed=s) for s in range(8)]
+        for g in corpus:
+            tw = treewidth(g)
+            assert degeneracy(g) <= tw
+            assert mmd_plus_lower_bound(g) <= tw
+            assert clique_lower_bound(g) <= tw
+            assert treewidth_lower_bound(g) <= tw
+
+    def test_mmd_plus_at_least_degeneracy_usually(self):
+        # Contraction can only help on these structured cases.
+        for g in (grid_graph(4, 4), cycle_graph(8), petersen_graph()):
+            assert mmd_plus_lower_bound(g) >= degeneracy(g)
+
+
+class TestTightness:
+    def test_tight_on_cliques(self):
+        g = complete_graph(6)
+        assert treewidth_lower_bound(g) == 5 == treewidth(g)
+
+    def test_tight_on_trees_and_cycles(self):
+        assert treewidth_lower_bound(tree_graph(10, seed=3)) == 1
+        assert treewidth_lower_bound(cycle_graph(9)) == 2
+
+    def test_clique_bound_sees_embedded_clique(self):
+        g = path_graph(6)
+        g.saturate([0, 1, 2, 3])  # embed a K4
+        assert clique_lower_bound(g) >= 3
+
+    def test_empty(self):
+        assert treewidth_lower_bound(Graph()) == -1

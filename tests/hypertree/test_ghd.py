@@ -1,0 +1,93 @@
+"""Tests for generalized hypertree decompositions."""
+
+import itertools
+
+import pytest
+
+from repro.costs.hypergraph import Hypergraph
+from repro.hypertree.ghd import (
+    ghd_from_tree_decomposition,
+    minimum_ghd,
+    ranked_ghds,
+)
+from repro.core.decomposition import TreeDecomposition
+
+
+def triangle_query() -> Hypergraph:
+    return Hypergraph([("a", "b"), ("b", "c"), ("c", "a")])
+
+
+def cycle_query(n: int) -> Hypergraph:
+    vars_ = [f"x{i}" for i in range(n)]
+    return Hypergraph(
+        [(vars_[i], vars_[(i + 1) % n]) for i in range(n)]
+    )
+
+
+def acyclic_query() -> Hypergraph:
+    # R(a,b,c) ⋈ S(c,d) ⋈ T(d,e): alpha-acyclic → ghw 1.
+    return Hypergraph([("a", "b", "c"), ("c", "d"), ("d", "e")])
+
+
+class TestMinimumGhd:
+    def test_acyclic_width_one(self):
+        ghd = minimum_ghd(acyclic_query())
+        assert ghd.width == 1
+        assert ghd.is_valid()
+
+    def test_triangle_width_two(self):
+        ghd = minimum_ghd(triangle_query())
+        assert ghd.width == 2
+        assert ghd.is_valid()
+
+    def test_cycle_queries(self):
+        # ghw of an n-cycle query is 2 for n >= 4.
+        for n in (4, 5, 6):
+            ghd = minimum_ghd(cycle_query(n))
+            assert ghd.width == 2, n
+            assert ghd.is_valid()
+
+    def test_covers_are_minimum(self):
+        from repro.costs.hypergraph import minimum_edge_cover_size
+
+        ghd = minimum_ghd(cycle_query(5))
+        for node, bag in ghd.decomposition.bags.items():
+            assert len(ghd.covers[node]) == minimum_edge_cover_size(
+                ghd.hypergraph, bag
+            )
+
+
+class TestRankedGhds:
+    def test_nondecreasing_width(self):
+        widths = [
+            g.width for g in itertools.islice(ranked_ghds(cycle_query(6)), 8)
+        ]
+        assert widths == sorted(widths)
+        assert widths[0] == 2
+
+    def test_all_valid(self):
+        for ghd in itertools.islice(ranked_ghds(triangle_query()), 4):
+            assert ghd.is_valid()
+
+
+class TestFromTreeDecomposition:
+    def test_explicit_construction(self):
+        q = acyclic_query()
+        td = TreeDecomposition(
+            {0: {"a", "b", "c"}, 1: {"c", "d"}, 2: {"d", "e"}},
+            [(0, 1), (1, 2)],
+        )
+        ghd = ghd_from_tree_decomposition(q, td)
+        assert ghd.width == 1
+        assert ghd.is_valid()
+
+    def test_invalid_when_td_invalid(self):
+        q = acyclic_query()
+        # missing vertex e
+        td = TreeDecomposition({0: {"a", "b", "c"}, 1: {"c", "d"}}, [(0, 1)])
+        ghd = ghd_from_tree_decomposition(q, td)
+        assert not ghd.is_valid()
+
+    def test_repr(self):
+        ghd = minimum_ghd(triangle_query())
+        assert "width=2" in repr(ghd)

@@ -1,0 +1,81 @@
+"""Property-based tests for the cost-function layer."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.costs.classic import FillInCost, LexWidthFillCost, WidthCost
+from repro.costs.constrained import ConstrainedCost
+from repro.costs.weighted import WeightedFillCost, WeightedWidthCost
+from repro.graphs.chordal import maximal_cliques_chordal
+from repro.graphs.graph import Graph
+from repro.triangulation.lb_triang import lb_triang
+
+
+@st.composite
+def graph_with_triangulation(draw, max_n=9):
+    n = draw(st.integers(2, max_n))
+    pairs = [(a, b) for a in range(n) for b in range(a + 1, n)]
+    edges = draw(st.sets(st.sampled_from(pairs)) if pairs else st.just(set()))
+    g = Graph(vertices=range(n), edges=edges)
+    return g, lb_triang(g)
+
+
+@settings(max_examples=50, deadline=None)
+@given(graph_with_triangulation())
+def test_fill_cost_equals_edge_difference(gt):
+    g, h = gt
+    bags = maximal_cliques_chordal(h)
+    assert FillInCost().evaluate(g, bags) == h.num_edges() - g.num_edges()
+
+
+@settings(max_examples=50, deadline=None)
+@given(graph_with_triangulation())
+def test_width_cost_equals_clique_number(gt):
+    g, h = gt
+    bags = maximal_cliques_chordal(h)
+    assert WidthCost().evaluate(g, bags) == max(len(b) for b in bags) - 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(graph_with_triangulation())
+def test_weighted_specializations_match_classics(gt):
+    g, h = gt
+    bags = maximal_cliques_chordal(h)
+    assert WeightedWidthCost(lambda b: float(len(b) - 1)).evaluate(
+        g, bags
+    ) == WidthCost().evaluate(g, bags)
+    assert WeightedFillCost(lambda u, v: 1.0).evaluate(
+        g, bags
+    ) == FillInCost().evaluate(g, bags)
+
+
+@settings(max_examples=50, deadline=None)
+@given(graph_with_triangulation())
+def test_lex_cost_decomposes(gt):
+    g, h = gt
+    bags = maximal_cliques_chordal(h)
+    cost = LexWidthFillCost(g, scale=10_000)
+    total = cost.evaluate(g, bags)
+    width = WidthCost().evaluate(g, bags)
+    fill = FillInCost().evaluate(g, bags)
+    assert total == 10_000 * width + fill
+
+
+@settings(max_examples=50, deadline=None)
+@given(graph_with_triangulation())
+def test_unconstrained_wrapper_is_transparent(gt):
+    g, h = gt
+    bags = maximal_cliques_chordal(h)
+    base = FillInCost()
+    assert ConstrainedCost(base).evaluate(g, bags) == base.evaluate(g, bags)
+
+
+@settings(max_examples=50, deadline=None)
+@given(graph_with_triangulation())
+def test_satisfied_constraints_do_not_change_value(gt):
+    g, h = gt
+    bags = list(maximal_cliques_chordal(h))
+    base = FillInCost()
+    # Every bag of the triangulation is a clique of H_T: including any bag
+    # as an inclusion constraint must be satisfied.
+    cost = ConstrainedCost(base, include=[frozenset(bags[0])])
+    assert cost.evaluate(g, bags) == base.evaluate(g, bags)

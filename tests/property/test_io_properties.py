@@ -1,0 +1,40 @@
+"""Property-based round-trip tests for graph IO."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.graph import Graph
+from repro.graphs.io import parse_dimacs, parse_gr, to_dimacs, to_gr
+
+
+@st.composite
+def labelled_graphs(draw, max_n=12):
+    n = draw(st.integers(1, max_n))
+    pairs = [(a, b) for a in range(1, n + 1) for b in range(a + 1, n + 1)]
+    edges = draw(st.sets(st.sampled_from(pairs)) if pairs else st.just(set()))
+    return Graph(vertices=range(1, n + 1), edges=edges)
+
+
+@settings(max_examples=60, deadline=None)
+@given(labelled_graphs())
+def test_gr_round_trip_preserves_structure(g):
+    back = parse_gr(to_gr(g))
+    assert back.num_vertices() == g.num_vertices()
+    assert back.num_edges() == g.num_edges()
+    # vertices are renumbered 1..n in insertion order; with integer labels
+    # already 1..n the structure must be identical
+    assert back == g
+
+
+@settings(max_examples=60, deadline=None)
+@given(labelled_graphs())
+def test_dimacs_round_trip_preserves_structure(g):
+    back = parse_dimacs(to_dimacs(g))
+    assert back == g
+
+
+@settings(max_examples=30, deadline=None)
+@given(labelled_graphs(max_n=8))
+def test_formats_agree(g):
+    via_gr = parse_gr(to_gr(g))
+    via_col = parse_dimacs(to_dimacs(g))
+    assert via_gr == via_col

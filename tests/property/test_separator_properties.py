@@ -1,0 +1,84 @@
+"""Property-based tests (hypothesis) for the separator machinery."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.graph import Graph
+from repro.separators.berry import (
+    full_components,
+    is_minimal_separator,
+    minimal_separators,
+)
+from repro.separators.crossing import SeparatorFamily, crosses
+
+
+@st.composite
+def small_graphs(draw, min_n=2, max_n=9):
+    """Random undirected graphs as (n, edge set)."""
+    n = draw(st.integers(min_n, max_n))
+    pairs = [(a, b) for a in range(n) for b in range(a + 1, n)]
+    edges = draw(st.sets(st.sampled_from(pairs)) if pairs else st.just(set()))
+    g = Graph(vertices=range(n), edges=edges)
+    return g
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_graphs())
+def test_separators_have_two_full_components(g):
+    for s in minimal_separators(g):
+        assert len(full_components(g, s)) >= 2
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_graphs())
+def test_separator_never_contains_whole_component_neighborhood_violation(g):
+    # Removing a minimal separator strictly disconnects its full components.
+    for s in minimal_separators(g):
+        comps = g.components_without(s)
+        assert len(comps) >= 2
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_graphs())
+def test_crossing_symmetry(g):
+    seps = sorted(minimal_separators(g), key=sorted)
+    for i, s in enumerate(seps):
+        for t in seps[i + 1 :]:
+            assert crosses(g, s, t) == crosses(g, t, s)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_graphs())
+def test_family_cache_agrees_with_direct(g):
+    seps = sorted(minimal_separators(g), key=sorted)
+    family = SeparatorFamily(g, seps)
+    for i, s in enumerate(seps):
+        for t in seps[i + 1 :]:
+            assert family.crosses(s, t) == crosses(g, s, t)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_graphs())
+def test_extension_is_maximal_and_parallel(g):
+    seps = sorted(minimal_separators(g), key=sorted)
+    if not seps:
+        return
+    family = SeparatorFamily(g, seps)
+    maximal = family.extend_to_maximal([])
+    assert family.is_pairwise_parallel(maximal)
+    for s in set(seps) - maximal:
+        assert any(family.crosses(s, t) for t in maximal)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_graphs())
+def test_bbc_outputs_are_minimal_separators(g):
+    for s in minimal_separators(g):
+        assert is_minimal_separator(g, s)
+        # minimality: no proper subset obtained by dropping one vertex
+        # remains a separator with the same separated pair structure.
+        for v in s:
+            smaller = s - {v}
+            if smaller:
+                assert not (
+                    is_minimal_separator(g, smaller) and smaller == s
+                )

@@ -1,0 +1,157 @@
+"""Tests for minimal separator enumeration (Berry–Bordat–Cogis)."""
+
+from itertools import combinations
+
+import pytest
+
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_graph,
+    paper_example_graph,
+    path_graph,
+    star_graph,
+    tree_graph,
+)
+from repro.graphs.graph import Graph
+from repro.separators.berry import (
+    SeparatorLimitExceeded,
+    full_components,
+    is_minimal_separator,
+    is_minimal_uv_separator,
+    minimal_separators,
+)
+
+
+def minimal_separators_bruteforce(graph: Graph) -> set[frozenset]:
+    """Ground truth: test every subset with the full-component predicate."""
+    vertices = list(graph.vertices)
+    out = set()
+    for size in range(1, len(vertices) - 1):
+        for subset in combinations(vertices, size):
+            if is_minimal_separator(graph, frozenset(subset)):
+                out.add(frozenset(subset))
+    return out
+
+
+def pairwise_definition_bruteforce(graph: Graph) -> set[frozenset]:
+    """Second ground truth straight from the (u,v)-separator definition."""
+    vertices = list(graph.vertices)
+    out = set()
+    for size in range(1, len(vertices) - 1):
+        for subset in combinations(vertices, size):
+            s = frozenset(subset)
+            rest = [v for v in vertices if v not in s]
+            for u, v in combinations(rest, 2):
+                if is_minimal_uv_separator(graph, s, u, v):
+                    out.add(s)
+                    break
+    return out
+
+
+class TestPredicate:
+    def test_paper_example(self, paper_graph):
+        # Example 2.4 enumerates MinSep(G) explicitly.
+        expected = {
+            frozenset({"w1", "w2", "w3"}),
+            frozenset({"u", "v"}),
+            frozenset({"v"}),
+        }
+        assert minimal_separators(paper_graph) == expected
+
+    def test_subset_of_separator_can_be_separator(self, paper_graph):
+        # {v} ⊊ {u, v}, both minimal separators (Example 2.4's remark).
+        assert is_minimal_separator(paper_graph, frozenset({"v"}))
+        assert is_minimal_separator(paper_graph, frozenset({"u", "v"}))
+
+    def test_empty_not_minimal(self):
+        g = Graph(edges=[(1, 2), (3, 4)])
+        assert not is_minimal_separator(g, frozenset())
+
+    def test_non_separator(self):
+        g = path_graph(4)
+        assert not is_minimal_separator(g, frozenset({0}))  # leaf
+        assert is_minimal_separator(g, frozenset({1}))
+
+    def test_uv_variant(self):
+        g = paper_example_graph()
+        s2 = frozenset({"u", "v"})
+        assert is_minimal_uv_separator(g, s2, "w1", "w2")
+        # S2 separates w1 from v' but not minimally (S3 = {v} does).
+        assert not is_minimal_uv_separator(g, s2, "w1", "v'")
+
+    def test_full_components(self):
+        g = paper_example_graph()
+        full = full_components(g, frozenset({"v"}))
+        assert sorted(map(sorted, full)) == [["u", "w1", "w2", "w3"], ["v'"]]
+
+
+class TestEnumeration:
+    @pytest.mark.parametrize(
+        "graph,count",
+        [
+            (path_graph(5), 3),  # internal vertices
+            (complete_graph(5), 0),
+            (star_graph(4), 1),  # the center
+            (cycle_graph(6), 9),  # non-adjacent pairs
+            (paper_example_graph(), 3),
+        ],
+    )
+    def test_known_counts(self, graph, count):
+        assert len(minimal_separators(graph)) == count
+
+    def test_cycle_separators_are_nonadjacent_pairs(self):
+        g = cycle_graph(7)
+        seps = minimal_separators(g)
+        expected = {
+            frozenset({u, v})
+            for u in range(7)
+            for v in range(7)
+            if u < v and not g.has_edge(u, v)
+        }
+        assert seps == expected
+
+    def test_matches_bruteforce_random(self):
+        for seed in range(40):
+            g = erdos_renyi(8, 0.35, seed=seed)
+            assert minimal_separators(g) == minimal_separators_bruteforce(g), seed
+
+    def test_matches_pairwise_definition(self):
+        for seed in range(15):
+            g = erdos_renyi(7, 0.4, seed=seed)
+            assert minimal_separators(g) == pairwise_definition_bruteforce(g), seed
+
+    def test_grid(self):
+        g = grid_graph(3, 3)
+        seps = minimal_separators(g)
+        assert seps == minimal_separators_bruteforce(g)
+
+    def test_tree_separators(self):
+        g = tree_graph(10, seed=2)
+        seps = minimal_separators(g)
+        assert seps == {frozenset({v}) for v in g.vertices if g.degree(v) >= 2}
+
+    def test_disconnected(self):
+        g = Graph(edges=[(1, 2), (2, 3), (4, 5), (5, 6)])
+        assert minimal_separators(g) == {frozenset({2}), frozenset({5})}
+
+    def test_every_output_is_minimal(self):
+        for seed in range(10):
+            g = erdos_renyi(12, 0.3, seed=seed)
+            for s in minimal_separators(g):
+                assert is_minimal_separator(g, s)
+
+
+class TestLimit:
+    def test_limit_raises(self):
+        g = erdos_renyi(14, 0.4, seed=0)
+        total = len(minimal_separators(g))
+        assert total > 3
+        with pytest.raises(SeparatorLimitExceeded) as exc_info:
+            minimal_separators(g, limit=3)
+        assert len(exc_info.value.partial) == 4  # limit + 1 when it trips
+
+    def test_limit_not_hit(self):
+        g = path_graph(6)
+        assert len(minimal_separators(g, limit=100)) == 4

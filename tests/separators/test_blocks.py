@@ -1,0 +1,65 @@
+"""Tests for blocks (S, C) and their realizations."""
+
+from repro.graphs.generators import erdos_renyi, paper_example_graph
+from repro.separators.berry import minimal_separators
+from repro.separators.blocks import (
+    Block,
+    all_full_blocks,
+    blocks_of_separator,
+    full_blocks_of_separator,
+)
+
+
+class TestBlock:
+    def test_vertices_and_len(self):
+        b = Block(frozenset({1}), frozenset({2, 3}))
+        assert b.vertices == {1, 2, 3}
+        assert len(b) == 3
+
+    def test_equality_and_hash(self):
+        a = Block(frozenset({1}), frozenset({2}))
+        b = Block(frozenset({1}), frozenset({2}))
+        c = Block(frozenset({2}), frozenset({1}))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+        assert len({a, b, c}) == 2
+
+    def test_realization_saturates_separator(self, paper_graph):
+        s1 = frozenset({"w1", "w2", "w3"})
+        blocks = list(blocks_of_separator(paper_graph, s1))
+        for block in blocks:
+            realized = block.realization(paper_graph)
+            assert realized.is_clique(s1)
+            assert realized.vertex_set() == block.vertices
+        # Figure 2: the w-separator has components {u} and {v, v'}.
+        comps = sorted(sorted(map(str, b.component)) for b in blocks)
+        assert comps == [["u"], ["v", "v'"]]
+
+    def test_fullness(self, paper_graph):
+        # (S2, C42) of Figure 2 is the non-full block: S2={u,v}, C={v'}.
+        s2 = frozenset({"u", "v"})
+        blocks = {frozenset(b.component): b for b in blocks_of_separator(paper_graph, s2)}
+        assert not blocks[frozenset({"v'"})].is_full(paper_graph)
+        full = list(full_blocks_of_separator(paper_graph, s2))
+        assert frozenset({"v'"}) not in {frozenset(b.component) for b in full}
+        assert len(full) == 3  # w1, w2, w3 singleton components
+
+
+class TestAllFullBlocks:
+    def test_sorted_ascending(self):
+        g = erdos_renyi(10, 0.3, seed=4)
+        blocks = all_full_blocks(g, minimal_separators(g))
+        sizes = [len(b) for b in blocks]
+        assert sizes == sorted(sizes)
+
+    def test_every_separator_has_two_full_blocks(self):
+        for seed in range(10):
+            g = erdos_renyi(9, 0.35, seed=seed)
+            for s in minimal_separators(g):
+                assert len(list(full_blocks_of_separator(g, s))) >= 2
+
+    def test_full_blocks_marked_full(self):
+        g = paper_example_graph()
+        for block in all_full_blocks(g, minimal_separators(g)):
+            assert block.is_full(g)

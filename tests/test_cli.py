@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.graphs.generators import cycle_graph, petersen_graph
+from repro.graphs.io import write_graph
+
+
+@pytest.fixture
+def gr_file(tmp_path):
+    path = tmp_path / "cycle6.gr"
+    write_graph(cycle_graph(6), path)
+    return str(path)
+
+
+class TestStats:
+    def test_stats(self, gr_file, capsys):
+        assert main(["stats", gr_file]) == 0
+        out = capsys.readouterr().out
+        assert "vertices: 6" in out
+        assert "minimal separators: 9" in out
+
+    def test_disconnected_graph_errors(self, tmp_path, capsys):
+        from repro.graphs.graph import Graph
+
+        path = tmp_path / "two.gr"
+        write_graph(Graph(edges=[(1, 2), (3, 4)]), path)
+        assert main(["stats", str(path)]) == 2
+
+
+class TestTreewidth:
+    def test_cycle(self, gr_file, capsys):
+        assert main(["treewidth", gr_file]) == 0
+        out = capsys.readouterr().out
+        assert "treewidth: 2" in out
+        assert "minimum fill-in: 3" in out
+
+    def test_petersen(self, tmp_path, capsys):
+        path = tmp_path / "petersen.gr"
+        write_graph(petersen_graph(), path)
+        assert main(["treewidth", str(path)]) == 0
+        assert "treewidth: 4" in capsys.readouterr().out
+
+
+class TestEnumerate:
+    def test_default_width(self, gr_file, capsys):
+        assert main(["enumerate", gr_file, "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("#") == 3
+        assert "width=2" in out
+
+    def test_fill_cost(self, gr_file, capsys):
+        assert main(["enumerate", gr_file, "--cost", "fill", "--top", "2"]) == 0
+        assert "cost=3.0" in capsys.readouterr().out
+
+    def test_width_bound_infeasible(self, gr_file, capsys):
+        assert main(["enumerate", gr_file, "--width-bound", "1"]) == 0
+        assert "no feasible" in capsys.readouterr().out
+
+    def test_diverse(self, gr_file, capsys):
+        assert main(["enumerate", gr_file, "--top", "3", "--diverse", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "#0" in out
+
+    def test_unknown_cost_rejected(self, gr_file):
+        with pytest.raises(SystemExit):
+            main(["enumerate", gr_file, "--cost", "bogus"])
+
+
+class TestDatasets:
+    def test_lists_families(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "TPC-H" in out
+        assert "Pace2016-100s" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,77 @@
+"""Tests for LB-Triang."""
+
+import pytest
+
+from repro.graphs.chordal import is_chordal
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_graph,
+    path_graph,
+)
+from repro.triangulation.lb_triang import lb_triang, lb_triang_order
+from repro.triangulation.minimality import is_minimal_triangulation
+
+
+class TestLbTriang:
+    def test_chordal_input_unchanged(self):
+        g = complete_graph(5)
+        assert lb_triang(g) == g
+        g = path_graph(6)
+        assert lb_triang(g) == g
+
+    def test_cycle(self):
+        g = cycle_graph(6)
+        h = lb_triang(g)
+        assert is_chordal(h)
+        # Triangulating C_n minimally adds exactly n - 3 chords.
+        assert h.num_edges() - g.num_edges() == 3
+
+    def test_minimality_all_strategies(self):
+        for strategy in ("min-degree", "given", "max-degree"):
+            for seed in range(8):
+                g = erdos_renyi(9, 0.35, seed=seed)
+                h = lb_triang(g, strategy=strategy)
+                assert is_minimal_triangulation(g, h), (strategy, seed)
+
+    def test_minimality_arbitrary_orders(self):
+        # The "wide-range" guarantee: minimal for ANY processing order.
+        import random
+
+        g = grid_graph(3, 3)
+        vertices = list(g.vertices)
+        for seed in range(6):
+            rng = random.Random(seed)
+            order = vertices[:]
+            rng.shuffle(order)
+            h = lb_triang(g, order=order)
+            assert is_minimal_triangulation(g, h), seed
+
+    def test_disconnected(self):
+        from repro.graphs.graph import Graph
+
+        g = Graph(edges=[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 6), (6, 3)])
+        h = lb_triang(g)
+        assert is_chordal(h)
+        assert is_minimal_triangulation(g, h)
+
+    def test_input_not_mutated(self):
+        g = cycle_graph(5)
+        edges_before = g.edge_set()
+        lb_triang(g)
+        assert g.edge_set() == edges_before
+
+
+class TestOrdering:
+    def test_strategies(self):
+        g = grid_graph(2, 3)
+        assert lb_triang_order(g, "given") == list(g.vertices)
+        md = lb_triang_order(g, "min-degree")
+        assert g.degree(md[0]) <= g.degree(md[-1])
+        xd = lb_triang_order(g, "max-degree")
+        assert g.degree(xd[0]) >= g.degree(xd[-1])
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            lb_triang_order(path_graph(3), "banana")

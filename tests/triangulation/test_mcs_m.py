@@ -1,0 +1,64 @@
+"""Tests for MCS-M."""
+
+from repro.graphs.chordal import (
+    is_chordal,
+    is_perfect_elimination_order,
+)
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_graph,
+    path_graph,
+)
+from repro.triangulation.mcs_m import mcs_m
+from repro.triangulation.minimality import is_minimal_triangulation
+
+
+class TestMcsM:
+    def test_chordal_input_unchanged(self):
+        for g in (complete_graph(5), path_graph(6)):
+            h, meo = mcs_m(g)
+            assert h == g
+            assert is_perfect_elimination_order(h, meo)
+
+    def test_cycle(self):
+        g = cycle_graph(7)
+        h, meo = mcs_m(g)
+        assert is_chordal(h)
+        assert h.num_edges() - g.num_edges() == 4  # n - 3 chords
+        assert is_perfect_elimination_order(h, meo)
+
+    def test_minimality_random(self):
+        for seed in range(12):
+            g = erdos_renyi(9, 0.35, seed=seed)
+            h, meo = mcs_m(g)
+            assert is_minimal_triangulation(g, h), seed
+            assert is_perfect_elimination_order(h, meo), seed
+
+    def test_start_vertex(self):
+        g = grid_graph(3, 3)
+        h, meo = mcs_m(g, start=(1, 1))
+        assert meo[-1] == (1, 1)  # numbered first = eliminated last
+        assert is_minimal_triangulation(g, h)
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        h, meo = mcs_m(g)
+        assert is_minimal_triangulation(g, h)
+
+    def test_agrees_with_lb_triang_on_fill_size_class(self):
+        # Both produce *some* minimal triangulation; on a cycle all minimal
+        # triangulations have the same fill size (n-3).
+        from repro.triangulation.lb_triang import lb_triang
+
+        g = cycle_graph(9)
+        h1 = lb_triang(g)
+        h2, _ = mcs_m(g)
+        assert h1.num_edges() == h2.num_edges()
+
+    def test_input_not_mutated(self):
+        g = cycle_graph(5)
+        before = g.edge_set()
+        mcs_m(g)
+        assert g.edge_set() == before

@@ -1,0 +1,84 @@
+"""Tests for triangulation validity/minimality predicates."""
+
+import pytest
+
+from repro.graphs.generators import complete_graph, cycle_graph, path_graph
+from repro.graphs.graph import Graph
+from repro.triangulation.minimality import (
+    fill_edges,
+    is_minimal_triangulation,
+    is_triangulation,
+)
+
+
+class TestFillEdges:
+    def test_basic(self):
+        g = cycle_graph(4)
+        h = g.copy()
+        h.add_edge(0, 2)
+        assert {frozenset(e) for e in fill_edges(g, h)} == {frozenset({0, 2})}
+
+    def test_vertex_set_mismatch(self):
+        with pytest.raises(ValueError):
+            fill_edges(path_graph(3), path_graph(4))
+
+
+class TestIsTriangulation:
+    def test_valid(self):
+        g = cycle_graph(4)
+        h = g.copy()
+        h.add_edge(0, 2)
+        assert is_triangulation(g, h)
+
+    def test_not_supergraph(self):
+        g = cycle_graph(4)
+        h = Graph(vertices=range(4), edges=[(0, 1), (1, 2), (2, 3)])
+        h.add_edge(0, 2)
+        assert not is_triangulation(g, h)  # missing edge 3-0
+
+    def test_not_chordal(self):
+        g = cycle_graph(4)
+        assert not is_triangulation(g, g)
+
+    def test_chordal_graph_is_its_own(self):
+        g = path_graph(5)
+        assert is_triangulation(g, g)
+
+
+class TestIsMinimal:
+    def test_single_chord(self):
+        g = cycle_graph(4)
+        h = g.copy()
+        h.add_edge(0, 2)
+        assert is_minimal_triangulation(g, h)
+
+    def test_complete_fill_not_minimal(self):
+        g = cycle_graph(4)
+        h = complete_graph(4)
+        assert is_triangulation(g, h)
+        assert not is_minimal_triangulation(g, h)
+
+    def test_chordal_unique_minimal(self):
+        # "If G is already chordal then G is the only minimal triangulation
+        # of itself" (Section 2).
+        g = path_graph(4)
+        assert is_minimal_triangulation(g, g)
+        h = g.copy()
+        h.add_edge(0, 2)
+        assert not is_minimal_triangulation(g, h)
+
+    def test_paper_example_triangulations(self, paper_graph):
+        # H2 of Figure 1(b): saturate {u, v}.
+        h2 = paper_graph.copy()
+        h2.saturate({"u", "v"})
+        h2.saturate({"v"})
+        assert is_minimal_triangulation(paper_graph, h2)
+        # H1: saturate {w1, w2, w3}.
+        h1 = paper_graph.copy()
+        h1.saturate({"w1", "w2", "w3"})
+        assert is_minimal_triangulation(paper_graph, h1)
+        # Adding both is a (non-minimal) triangulation.
+        both = h1.copy()
+        both.saturate({"u", "v"})
+        assert is_triangulation(paper_graph, both)
+        assert not is_minimal_triangulation(paper_graph, both)

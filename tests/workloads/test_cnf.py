@@ -1,0 +1,61 @@
+"""Tests for the CNF workload."""
+
+import pytest
+
+from repro.workloads.cnf import CnfFormula, chain_cnf, random_k_cnf
+
+
+class TestPrimalGraph:
+    def test_clause_becomes_clique(self):
+        f = CnfFormula(num_vars=4, clauses=((1, -2, 3),))
+        g = f.primal_graph()
+        assert g.is_clique({1, 2, 3})
+        assert g.degree(4) == 0
+
+    def test_signs_ignored(self):
+        a = CnfFormula(num_vars=3, clauses=((1, 2), (-1, -3)))
+        b = CnfFormula(num_vars=3, clauses=((-1, -2), (1, 3)))
+        assert a.primal_graph() == b.primal_graph()
+
+    def test_dimacs_serialization(self):
+        f = CnfFormula(num_vars=3, clauses=((1, -2), (2, 3)))
+        text = f.to_dimacs()
+        assert text.startswith("p cnf 3 2")
+        assert "1 -2 0" in text
+
+
+class TestRandomKCnf:
+    def test_shape(self):
+        f = random_k_cnf(num_vars=10, num_clauses=15, k=3, seed=2)
+        assert f.num_vars == 10
+        assert len(f.clauses) == 15
+        assert all(len(c) == 3 for c in f.clauses)
+        assert all(len({abs(l) for l in c}) == 3 for c in f.clauses)
+
+    def test_deterministic(self):
+        assert random_k_cnf(8, 10, seed=4) == random_k_cnf(8, 10, seed=4)
+
+    def test_width_guard(self):
+        with pytest.raises(ValueError):
+            random_k_cnf(num_vars=2, num_clauses=1, k=3)
+
+
+class TestChainCnf:
+    def test_overlap_structure(self):
+        f = chain_cnf(length=4, overlap=1, k=3)
+        assert len(f.clauses) == 4
+        # consecutive clauses share exactly one variable
+        for a, b in zip(f.clauses, f.clauses[1:]):
+            assert len(set(a) & set(b)) == 1
+
+    def test_primal_treewidth_small(self):
+        from repro.core.exact import treewidth
+
+        f = chain_cnf(length=5, overlap=1, k=3)
+        assert treewidth(f.primal_graph()) == 2  # chain of triangles
+
+    def test_overlap_validation(self):
+        with pytest.raises(ValueError):
+            chain_cnf(3, overlap=0)
+        with pytest.raises(ValueError):
+            chain_cnf(3, overlap=3, k=3)

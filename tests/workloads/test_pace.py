@@ -1,0 +1,53 @@
+"""Tests for the PACE-2016-like instances."""
+
+from repro.core.mintriang import min_triangulation
+from repro.costs.classic import WidthCost
+from repro.workloads.pace import (
+    control_flow_graph,
+    pace100_instances,
+    pace1000_instances,
+)
+
+
+class TestControlFlow:
+    def test_deterministic(self):
+        a = control_flow_graph(15, seed=4)
+        b = control_flow_graph(15, seed=4)
+        assert a == b
+
+    def test_connected(self):
+        for seed in range(6):
+            g = control_flow_graph(15, seed=seed)
+            assert g.is_connected()
+
+    def test_low_treewidth(self):
+        """Structured CFGs have small treewidth (≤ ~7 for real programs)."""
+        for seed in range(4):
+            g = control_flow_graph(14, seed=seed)
+            result = min_triangulation(g, WidthCost())
+            assert result.width <= 4, seed
+
+    def test_size_scales(self):
+        small = control_flow_graph(8, seed=1)
+        large = control_flow_graph(30, seed=1)
+        assert large.num_vertices() > small.num_vertices()
+
+
+class TestTracks:
+    def test_track_sizes(self):
+        assert len(pace100_instances()) == 13
+        assert len(pace1000_instances()) == 3
+
+    def test_names_unique_and_prefixed(self):
+        for inst, prefix in (
+            (pace100_instances(), "pace100-"),
+            (pace1000_instances(), "pace1000-"),
+        ):
+            names = [n for n, _g in inst]
+            assert len(names) == len(set(names))
+            assert all(n.startswith(prefix) for n in names)
+
+    def test_1000s_track_is_larger(self):
+        small = max(g.num_vertices() for _n, g in pace100_instances())
+        big = max(g.num_vertices() for _n, g in pace1000_instances())
+        assert big >= small

@@ -1,0 +1,86 @@
+"""Tests for the PIC2011-like generators."""
+
+from repro.workloads.pgm import (
+    alchemy_instances,
+    csp_instances,
+    dbn_instances,
+    grids_instances,
+    image_alignment_instances,
+    moralize,
+    object_detection_instances,
+    pedigree_instances,
+    promedas_instances,
+    protein_folding_instances,
+    protein_protein_instances,
+    segmentation_instances,
+)
+
+
+class TestMoralize:
+    def test_marries_parents(self):
+        g = moralize({"c": ["a", "b"]})
+        assert g.has_edge("c", "a")
+        assert g.has_edge("c", "b")
+        assert g.has_edge("a", "b")  # moral edge
+
+    def test_founders_included(self):
+        g = moralize({"a": [], "b": ["a"]})
+        assert g.vertex_set() == {"a", "b"}
+
+
+class TestFamilies:
+    def test_determinism(self):
+        a = [g.edge_set() for _n, g in promedas_instances(seed=5)]
+        b = [g.edge_set() for _n, g in promedas_instances(seed=5)]
+        assert a == b
+
+    def test_names_unique(self):
+        for factory in (
+            grids_instances,
+            dbn_instances,
+            segmentation_instances,
+            promedas_instances,
+            csp_instances,
+            object_detection_instances,
+            image_alignment_instances,
+            alchemy_instances,
+            pedigree_instances,
+            protein_protein_instances,
+            protein_folding_instances,
+        ):
+            names = [n for n, _g in factory()]
+            assert len(names) == len(set(names)), factory.__name__
+
+    def test_object_detection_dense_and_small(self):
+        for name, g in object_detection_instances():
+            n = g.num_vertices()
+            assert 8 <= n <= 14, name
+            # near-complete: density above 0.5
+            assert g.num_edges() >= 0.5 * n * (n - 1) / 2, name
+
+    def test_alchemy_big_and_dense(self):
+        for name, g in alchemy_instances():
+            assert g.num_vertices() >= 40, name
+
+    def test_csp_contains_mycielski(self):
+        names = [n for n, _g in csp_instances()]
+        assert "csp-myciel5" in names
+
+    def test_segmentation_planar_ish(self):
+        for name, g in segmentation_instances():
+            n, m = g.num_vertices(), g.num_edges()
+            assert m <= 3 * n - 6, name  # planar bound
+
+    def test_pedigree_is_moral_graph(self):
+        for name, g in pedigree_instances():
+            assert g.num_vertices() > 20, name
+
+    def test_dbn_layered_size(self):
+        for name, g in dbn_instances():
+            assert 12 <= g.num_vertices() <= 30, name
+
+    def test_protein_folding_has_backbone(self):
+        for name, g in protein_folding_instances():
+            n = g.num_vertices()
+            for j in range(n - 1):
+                assert g.has_edge(j, j + 1), name

@@ -1,0 +1,62 @@
+"""Tests for the dataset registry and the random sweeps."""
+
+import pytest
+
+from repro.workloads.random_graphs import figure7_instances, figure8_instances
+from repro.workloads.registry import DATASETS, dataset, dataset_names
+
+
+class TestRegistry:
+    def test_figure5_families_registered(self):
+        expected = {
+            "Alchemy",
+            "Pedigree",
+            "ProteinProtein",
+            "ImageAlignment",
+            "Pace2016-1000s",
+            "ProteinFolding",
+            "TPC-H",
+            "Grids",
+            "CSP",
+            "Segmentation",
+            "DBN",
+            "ObjectDetection",
+            "Promedas",
+            "Pace2016-100s",
+        }
+        assert set(dataset_names()) == expected
+
+    def test_dataset_lookup(self):
+        instances = dataset("TPC-H")
+        assert len(instances) == 22
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            dataset("NotADataset")
+
+    def test_every_dataset_instantiates(self):
+        for name in dataset_names():
+            instances = dataset(name)
+            assert instances, name
+            for gname, graph in instances:
+                assert graph.num_vertices() > 0, (name, gname)
+
+
+class TestRandomSweeps:
+    def test_figure7_grid(self):
+        instances = figure7_instances(sizes=(8,), draws=2)
+        assert len(instances) == 8 * 2  # p = 1/8..8/8, 2 draws
+        assert all(i.n == 8 for i in instances)
+
+    def test_figure7_deterministic(self):
+        a = figure7_instances(sizes=(8,), draws=1)
+        b = figure7_instances(sizes=(8,), draws=1)
+        assert all(x.graph == y.graph for x, y in zip(a, b))
+
+    def test_figure8_connectivity_bias(self):
+        instances = figure8_instances(sizes=(12,), probabilities=(0.3,), draws=3)
+        assert sum(1 for i in instances if i.graph.is_connected()) >= 2
+
+    def test_names_are_stable(self):
+        inst = figure8_instances(sizes=(10,), probabilities=(0.5,), draws=1)[0]
+        assert inst.name == "gnp-n10-p0.50-0"

@@ -1,0 +1,52 @@
+"""Tests for the TPC-H query Gaifman graphs."""
+
+import pytest
+
+from repro.core.mintriang import min_triangulation
+from repro.costs.classic import WidthCost
+from repro.workloads.tpch import TPCH_JOINS, tpch_instances, tpch_query_graph
+
+
+class TestQueryGraphs:
+    def test_all_22_queries_present(self):
+        assert sorted(TPCH_JOINS) == list(range(1, 23))
+        assert len(tpch_instances()) == 22
+
+    def test_unknown_query(self):
+        with pytest.raises(KeyError):
+            tpch_query_graph(23)
+
+    def test_single_relation_queries(self):
+        for q in (1, 6):
+            g = tpch_query_graph(q)
+            assert g.num_vertices() == 1
+            assert g.num_edges() == 0
+
+    def test_q3_is_a_path(self):
+        g = tpch_query_graph(3)
+        assert g.num_vertices() == 3
+        assert g.num_edges() == 2
+
+    def test_q5_has_triangles(self):
+        g = tpch_query_graph(5)
+        # the nationkey triangle customer-supplier-nation
+        assert g.has_edge("C", "S") and g.has_edge("S", "N") and g.has_edge("C", "N")
+
+    def test_all_small(self):
+        for name, g in tpch_instances():
+            assert g.num_vertices() <= 8, name
+
+    def test_all_enumerable_fast(self):
+        """The paper: TPC-H enumeration is 'a matter of a few seconds'."""
+        for name, g in tpch_instances():
+            result = min_triangulation(g, WidthCost())
+            assert result is not None, name
+            # Gaifman graphs of acyclic-ish queries have tiny width.
+            assert result.width <= 3, name
+
+    def test_q9_cycle_needs_fill(self):
+        from repro.costs.classic import FillInCost
+
+        g = tpch_query_graph(9)
+        result = min_triangulation(g, FillInCost())
+        assert result.cost >= 0
