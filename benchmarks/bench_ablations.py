@@ -19,13 +19,14 @@ from repro.core.ranked import ranked_triangulations
 from repro.costs.classic import FillInCost, WidthCost
 from repro.costs.constrained import ConstrainedCost
 from repro.graphs.generators import erdos_renyi
+from repro.graphs.ordering import vertex_set_sort_key
 from repro.triangulation.lb_triang import lb_triang
 from repro.triangulation.mcs_m import mcs_m
 from repro.workloads.pace import pace100_instances
 
 
 def _sample_constraints(ctx, k=3):
-    seps = sorted(ctx.separators, key=lambda s: tuple(sorted(map(repr, s))))
+    seps = sorted(ctx.separators, key=vertex_set_sort_key)
     include = frozenset(seps[:1])
     exclude = frozenset(seps[1 : 1 + k])
     return include, exclude

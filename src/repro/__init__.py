@@ -50,6 +50,12 @@ from .core import (
     treewidth,
     triangulation_distance,
 )
+from .engine import (
+    ExpansionStrategy,
+    ProcessPoolStrategy,
+    SerialStrategy,
+    resolve_engine,
+)
 from .hypertree import (
     GeneralizedHypertreeDecomposition,
     ghd_from_tree_decomposition,
@@ -92,6 +98,10 @@ __all__ = [
     "minimum_fill_in",
     "diverse_top_k",
     "triangulation_distance",
+    "ExpansionStrategy",
+    "SerialStrategy",
+    "ProcessPoolStrategy",
+    "resolve_engine",
     "GeneralizedHypertreeDecomposition",
     "ghd_from_tree_decomposition",
     "minimum_ghd",

@@ -19,6 +19,7 @@ from itertools import combinations
 
 from ..graphs.graph import Graph, Vertex
 from ..graphs.chordal import is_chordal
+from ..graphs.ordering import vertex_set_sort_key
 from ..separators.berry import minimal_separators
 from ..separators.crossing import SeparatorFamily
 from ..triangulation.saturate import saturate_separators
@@ -79,9 +80,7 @@ def minimal_triangulations_via_mis(graph: Graph) -> list[Graph]:
     crossing graph (independent implementation path using networkx)."""
     import networkx as nx
 
-    separators = sorted(
-        minimal_separators(graph), key=lambda s: tuple(sorted(map(repr, s)))
-    )
+    separators = sorted(minimal_separators(graph), key=vertex_set_sort_key)
     if not separators:
         return [graph.copy()]  # already chordal (or too small to separate)
     family = SeparatorFamily(graph, separators)

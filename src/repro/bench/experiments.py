@@ -9,6 +9,7 @@ onto seconds-scale budgets here (see DESIGN.md §4).
 
 from __future__ import annotations
 
+import contextlib
 import statistics
 import time
 from collections.abc import Iterator, Sequence
@@ -49,17 +50,23 @@ __all__ = [
 # Shared per-graph runners
 # ---------------------------------------------------------------------------
 def _ranked_stream(
-    graph: Graph, context: TriangulationContext, cost_name: str, offset: float
+    graph: Graph,
+    context: TriangulationContext,
+    cost_name: str,
+    offset: float,
+    engine=None,
 ) -> Iterator[TimedResult]:
     cost = make_cost(cost_name, graph)
-    for result in ranked_triangulations(graph, cost, context=context):
-        tri = result.triangulation
-        yield TimedResult(
-            elapsed_seconds=offset + result.elapsed_seconds,
-            width=tri.width,
-            fill=tri.fill_in(),
-            payload=tri,
-        )
+    stream = ranked_triangulations(graph, cost, context=context, engine=engine)
+    with contextlib.closing(stream):  # harness may abandon us mid-stream
+        for result in stream:
+            tri = result.triangulation
+            yield TimedResult(
+                elapsed_seconds=offset + result.elapsed_seconds,
+                width=tri.width,
+                fill=tri.fill_in(),
+                payload=tri,
+            )
 
 
 def ranked_run(
@@ -68,8 +75,14 @@ def ranked_run(
     cost_name: str,
     budget: float,
     context: TriangulationContext | None = None,
+    engine=None,
 ) -> TimedRun:
-    """One time-budgeted RankedTriang run (init counted into the budget)."""
+    """One time-budgeted RankedTriang run (init counted into the budget).
+
+    ``engine`` selects the expansion backend (see
+    :func:`repro.engine.resolve_engine`); the measured stream is identical
+    under every backend, only its timing changes.
+    """
     init_started = time.perf_counter()
     if context is None:
         try:
@@ -89,7 +102,9 @@ def ranked_run(
     return run_with_budget(
         algorithm=f"ranked-{cost_name}",
         graph_name=name,
-        stream_factory=lambda: _ranked_stream(graph, context, cost_name, init),
+        stream_factory=lambda: _ranked_stream(
+            graph, context, cost_name, init, engine=engine
+        ),
         budget_seconds=budget,
         init_seconds=init,
     )

@@ -14,6 +14,8 @@ Graphs are read in the PACE ``.gr`` or DIMACS ``.col`` formats.
 from __future__ import annotations
 
 import argparse
+import contextlib
+import os
 import sys
 import time
 from collections.abc import Sequence
@@ -26,7 +28,14 @@ from .core.exact import minimum_fill_in, treewidth
 from .core.ranked import ranked_triangulations
 from .separators.berry import SeparatorLimitExceeded
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "run", "build_parser"]
+
+
+def _positive_int(raw: str) -> int:
+    value = int(raw)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -67,6 +76,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="D",
         help="keep only results pairwise >= D fill edges apart",
+    )
+    p_enum.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="expand Lawler-Murty children on N worker processes "
+        "(1 = serial; the output sequence is identical either way)",
     )
 
     p_dec = sub.add_parser(
@@ -137,7 +154,7 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
     cost = make_cost(args.cost, graph)
     if args.diverse is not None:
         results = diverse_top_k(
-            graph, cost, k=args.top, min_distance=args.diverse
+            graph, cost, k=args.top, min_distance=args.diverse, engine=args.workers
         )
         for i, tri in enumerate(results):
             print(
@@ -145,15 +162,18 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
                 f"fill={tri.fill_in()}"
             )
         return 0
-    stream = ranked_triangulations(graph, cost, width_bound=args.width_bound)
+    stream = ranked_triangulations(
+        graph, cost, width_bound=args.width_bound, engine=args.workers
+    )
     emitted = 0
-    for result in stream:
-        tri = result.triangulation
-        bags = sorted(sorted(map(str, b)) for b in tri.bags)
-        print(f"#{result.rank}: cost={result.cost} width={tri.width} bags={bags}")
-        emitted += 1
-        if emitted >= args.top:
-            break
+    with contextlib.closing(stream):  # release pool workers on early exit
+        for result in stream:
+            tri = result.triangulation
+            bags = sorted(sorted(map(str, b)) for b in tri.bags)
+            print(f"#{result.rank}: cost={result.cost} width={tri.width} bags={bags}")
+            emitted += 1
+            if emitted >= args.top:
+                break
     if emitted == 0:
         print("(no feasible triangulation)")
     return 0
@@ -261,11 +281,38 @@ _COMMANDS = {
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Safe to call as a library function: a downstream consumer closing the
+    pipe (``BrokenPipeError``) yields the conventional SIGPIPE status 141
+    without touching the process's file descriptors.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        return 141
+
+
+def run() -> None:  # pragma: no cover - thin process wrapper
+    """Console-script entry point (process-owning variant of :func:`main`).
+
+    Redirects stdout to ``/dev/null`` after a broken pipe so the
+    interpreter's exit-time flush cannot raise a second
+    ``BrokenPipeError`` traceback — an fd-level action that would be
+    wrong inside :func:`main`, which library callers may invoke under a
+    redirected or in-memory stdout.
+    """
+    code = main()
+    try:
+        sys.stdout.flush()
+    except BrokenPipeError:
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        code = 141
+    sys.exit(code)
 
 
 if __name__ == "__main__":  # pragma: no cover
-    sys.exit(main())
+    run()

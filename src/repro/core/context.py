@@ -18,6 +18,7 @@ separators contained in a PMC ``Ω`` are exactly the ones *associated* to it
 from __future__ import annotations
 
 import time
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 from ..graphs.graph import Graph, Vertex
@@ -71,6 +72,12 @@ class TriangulationContext:
     init_seconds: float = 0.0
     _block_subgraphs: dict[Block, Graph] = field(default_factory=dict, repr=False)
     _children_cache: dict[tuple[Block | None, PMC], tuple[Block, ...]] = field(
+        default_factory=dict, repr=False
+    )
+    _vertex_blocks: dict[Vertex, frozenset[int]] | None = field(
+        default=None, repr=False
+    )
+    _containing_cache: dict[Separator, frozenset[int]] = field(
         default_factory=dict, repr=False
     )
 
@@ -189,6 +196,70 @@ class TriangulationContext:
             cached = tuple(children)
             self._children_cache[key] = cached
         return cached
+
+    def blocks_containing(self, separator: Separator) -> frozenset[int]:
+        """Indices (into :attr:`blocks`) of the blocks whose vertex set
+        contains ``separator``.
+
+        Backed by a lazily built vertex → block inverted index: the answer
+        is the intersection of the member vertices' block sets, starting
+        from the smallest.  The per-separator result is cached because the
+        ranked enumerator asks about the same ``MinSep(G)`` members across
+        thousands of Lawler–Murty children — after the first query a
+        lookup is O(1).
+        """
+        cached = self._containing_cache.get(separator)
+        if cached is not None:
+            return cached
+        if not separator:
+            result = frozenset(range(len(self.blocks)))
+            self._containing_cache[separator] = result
+            return result
+        index = self.ensure_block_index()
+        empty: frozenset[int] = frozenset()
+        member_sets = sorted(
+            (index.get(v, empty) for v in separator), key=len
+        )
+        result = member_sets[0]
+        for s in member_sets[1:]:
+            if not result:
+                break
+            result &= s
+        self._containing_cache[separator] = result
+        return result
+
+    def ensure_block_index(self) -> dict[Vertex, frozenset[int]]:
+        """The vertex → block-indices inverted index, built on first use.
+
+        Exposed so the process-pool engine can force the build in the
+        parent before forking workers — the index is then inherited
+        copy-on-write instead of being rebuilt once per worker.  (The
+        per-separator containment sets stay lazy: only the separators of
+        actually-popped triangulations are ever queried.)
+        """
+        index = self._vertex_blocks
+        if index is None:
+            built: dict[Vertex, set[int]] = {}
+            for i, block in enumerate(self.blocks):
+                for v in block.vertices:
+                    built.setdefault(v, set()).add(i)
+            index = {v: frozenset(ids) for v, ids in built.items()}
+            self._vertex_blocks = index
+        return index
+
+    def touched_blocks(self, separators: "Iterable[Separator]") -> frozenset[int]:
+        """Indices of blocks containing **any** of ``separators``.
+
+        These are exactly the blocks whose constrained-DP entry can differ
+        from the unconstrained one under ``κ[I,X]`` with
+        ``I ∪ X = separators`` (a constraint is vacuous on any region that
+        does not contain its separator), so every other block may copy its
+        entry from a reusable unconstrained table.
+        """
+        touched: set[int] = set()
+        for s in separators:
+            touched |= self.blocks_containing(s)
+        return frozenset(touched)
 
     def stats(self) -> dict[str, float]:
         """Summary counters for benchmark reports."""

@@ -26,6 +26,7 @@ combined procedure keeps an end-to-end efficiency guarantee for fixed
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 from collections.abc import Iterable
 
@@ -63,13 +64,16 @@ def diverse_top_k(
     min_distance: int = 1,
     scan_limit: int | None = None,
     context: TriangulationContext | None = None,
+    engine=None,
 ) -> list[Triangulation]:
     """Up to ``k`` low-cost, pairwise-``min_distance``-separated results.
 
     Scans the cost-ranked stream (at most ``scan_limit`` results, default
     ``25 * k``) and keeps a result iff it is at distance ≥ ``min_distance``
     from everything kept so far.  With ``min_distance = 1`` this is plain
-    top-k (all enumerated triangulations are distinct).
+    top-k (all enumerated triangulations are distinct).  ``engine``
+    selects the stream's expansion backend (see
+    :func:`repro.engine.resolve_engine`).
     """
     if k <= 0:
         return []
@@ -77,14 +81,15 @@ def diverse_top_k(
         scan_limit = 25 * k
     kept: list[Triangulation] = []
     kept_fills: list[frozenset] = []
-    stream = ranked_triangulations(graph, cost, context=context)
-    for result in itertools.islice(stream, scan_limit):
-        fill = _fill_set(result.triangulation)
-        if all(len(fill ^ other) >= min_distance for other in kept_fills):
-            kept.append(result.triangulation)
-            kept_fills.append(fill)
-            if len(kept) >= k:
-                break
+    stream = ranked_triangulations(graph, cost, context=context, engine=engine)
+    with contextlib.closing(stream):  # release pool workers deterministically
+        for result in itertools.islice(stream, scan_limit):
+            fill = _fill_set(result.triangulation)
+            if all(len(fill ^ other) >= min_distance for other in kept_fills):
+                kept.append(result.triangulation)
+                kept_fills.append(fill)
+                if len(kept) >= k:
+                    break
     return kept
 
 

@@ -16,7 +16,6 @@ only on demand.
 
 from __future__ import annotations
 
-from collections.abc import Callable
 from dataclasses import dataclass
 from functools import cached_property
 
@@ -118,19 +117,20 @@ def _run_block_dp(
     context: TriangulationContext,
     cost: BagCost,
     reusable: _Table | None = None,
-    touched: "Callable[[Block], bool] | None" = None,
+    touched: "frozenset[int] | None" = None,
 ) -> _Table:
     """The per-block DP loop (lines 3–5 of Figure 3).
 
-    When ``reusable`` is given, blocks for which ``touched`` is false copy
-    their entry from it instead of recomputing — used by the ranked
+    When ``reusable`` is given, blocks outside the ``touched`` index set
+    copy their entry from it instead of recomputing — used by the ranked
     enumerator to share the unconstrained table across constrained runs
     (a block too small to contain any constraint separator has the same
-    optimum under ``κ[I,X]`` as under ``κ``, recursively).
+    optimum under ``κ[I,X]`` as under ``κ``, recursively; the touched set
+    comes from :meth:`TriangulationContext.touched_blocks`).
     """
     table: _Table = {}
-    for block in context.blocks:  # ascending |S ∪ C|
-        if reusable is not None and touched is not None and not touched(block):
+    for idx, block in enumerate(context.blocks):  # ascending |S ∪ C|
+        if reusable is not None and touched is not None and idx not in touched:
             table[block] = reusable[block]
             continue
         sub = context.block_subgraph(block)
@@ -158,9 +158,11 @@ def min_triangulation_and_table(
 
     ``reusable_table`` / ``constraint_separators`` enable the ranked
     enumerator's table-sharing optimization: a block is recomputed only if
-    some constraint separator fits inside it.  The triangulation is
-    ``None`` when no feasible one exists (only possible with a width bound
-    or an unsatisfiable constrained cost).
+    some constraint separator fits inside it, found in O(touched) via the
+    context's block → separator containment index rather than by scanning
+    every block.  The triangulation is ``None`` when no feasible one
+    exists (only possible with a width bound or an unsatisfiable
+    constrained cost).
     """
     graph = context.graph
     if graph.num_vertices() == 0:
@@ -169,11 +171,7 @@ def min_triangulation_and_table(
 
     touched = None
     if reusable_table is not None and constraint_separators is not None:
-        seps = sorted(constraint_separators, key=len)
-
-        def touched(block: Block, _seps=seps) -> bool:
-            vertices = block.vertices
-            return any(s <= vertices for s in _seps)
+        touched = context.touched_blocks(constraint_separators)
 
     table = _run_block_dp(context, cost, reusable_table, touched)
 

@@ -19,10 +19,17 @@ the enumeration demonstrably misses answers on small graphs, see
 
 The initialization (separators, PMCs, blocks) is shared across all
 ``MinTriang`` invocations, as in the paper's implementation (Section 7.1).
+
+The ``k`` child optimizations of one pop are independent of each other;
+*how* they execute is delegated to an
+:class:`~repro.engine.strategy.ExpansionStrategy` (``engine=`` parameter):
+in-process (default) or fanned across a process pool, with identical
+output either way.
 """
 
 from __future__ import annotations
 
+import contextlib
 import heapq
 import itertools
 import time
@@ -30,10 +37,11 @@ from collections.abc import Iterator
 from dataclasses import dataclass
 
 from ..graphs.graph import Graph, Vertex
-from ..costs.base import BagCost, INFEASIBLE
-from ..costs.constrained import ConstrainedCost
+from ..graphs.ordering import vertex_set_sort_key
+from ..costs.base import BagCost
 from .context import TriangulationContext
 from .mintriang import Triangulation, min_triangulation_and_table
+from ..engine import ExpansionStrategy, resolve_engine
 
 Separator = frozenset[Vertex]
 
@@ -74,6 +82,7 @@ def ranked_triangulations(
     cost: BagCost,
     context: TriangulationContext | None = None,
     width_bound: int | None = None,
+    engine: "ExpansionStrategy | str | int | None" = None,
 ) -> Iterator[RankedResult]:
     """Enumerate the minimal triangulations of ``graph`` by increasing ``κ``.
 
@@ -90,6 +99,12 @@ def ranked_triangulations(
         If given, enumerate only triangulations of width ≤ bound — the
         ``MinTriangB``-backed variant of Theorem 4.5, which does not need
         the poly-MS assumption.
+    engine:
+        Expansion backend for the per-pop child optimizations: an
+        :class:`~repro.engine.strategy.ExpansionStrategy` instance, a
+        name (``"serial"``, ``"process-pool"``), or a worker count.
+        ``None`` (default) runs serially.  Every backend emits the exact
+        same sequence.
 
     Yields
     ------
@@ -111,57 +126,53 @@ def ranked_triangulations(
     if first is None:
         return
 
-    counter = itertools.count()  # heap tiebreak: FIFO among equal costs
-    heap: list[tuple[float, int, Triangulation, frozenset, frozenset]] = []
-    heapq.heappush(
-        heap, (first.cost, next(counter), first, frozenset(), frozenset())
-    )
-    rank = 0
-    while heap:
-        value, _, current, include, exclude = heapq.heappop(heap)
-        yield RankedResult(
-            triangulation=current,
-            rank=rank,
-            elapsed_seconds=time.perf_counter() - started,
-            include=include,
-            exclude=exclude,
+    strategy = resolve_engine(engine)
+    strategy.bind(context, cost, base_table)
+    try:
+        counter = itertools.count()  # heap tiebreak: FIFO among equal costs
+        heap: list[tuple[float, int, Triangulation, frozenset, frozenset]] = []
+        heapq.heappush(
+            heap, (first.cost, next(counter), first, frozenset(), frozenset())
         )
-        rank += 1
+        rank = 0
+        while heap:
+            value, _, current, include, exclude = heapq.heappop(heap)
+            yield RankedResult(
+                triangulation=current,
+                rank=rank,
+                elapsed_seconds=time.perf_counter() - started,
+                include=include,
+                exclude=exclude,
+            )
+            rank += 1
 
-        free = sorted(
-            current.minimal_separators - include,
-            key=lambda s: tuple(sorted(map(repr, s))),
-        )
-        accumulated: list[Separator] = []
-        for pivot in free:
-            child_include = include | frozenset(accumulated)
-            child_exclude = exclude | {pivot}
-            constrained = ConstrainedCost(
-                cost, include=child_include, exclude=child_exclude
+            free = sorted(
+                current.minimal_separators - include, key=vertex_set_sort_key
             )
-            candidate, _table = min_triangulation_and_table(
-                context,
-                constrained,
-                reusable_table=base_table,
-                constraint_separators=child_include | child_exclude,
-            )
-            if candidate is not None and candidate.cost < INFEASIBLE:
-                # Strip the constraint wrapper: report the base cost.
-                base_value = cost.evaluate(candidate.graph, candidate.bags)
-                reported = Triangulation(
-                    candidate.graph, candidate.bags, base_value
-                )
+            jobs = []
+            accumulated: list[Separator] = []
+            for pivot in free:
+                jobs.append((include | frozenset(accumulated), exclude | {pivot}))
+                accumulated.append(pivot)
+            # Outcomes come back in job (pivot) order regardless of the
+            # backend, so heap pushes — and hence the emitted sequence —
+            # are identical under every strategy.
+            for job, outcome in zip(jobs, strategy.expand(jobs)):
+                if outcome is None:
+                    continue
+                child_bags, base_value = outcome
                 heapq.heappush(
                     heap,
                     (
                         base_value,
                         next(counter),
-                        reported,
-                        child_include,
-                        child_exclude,
+                        Triangulation(graph, child_bags, base_value),
+                        job[0],
+                        job[1],
                     ),
                 )
-            accumulated.append(pivot)
+    finally:
+        strategy.close()
 
 
 def top_k_triangulations(
@@ -170,10 +181,13 @@ def top_k_triangulations(
     k: int,
     context: TriangulationContext | None = None,
     width_bound: int | None = None,
+    engine: "ExpansionStrategy | str | int | None" = None,
 ) -> list[Triangulation]:
     """The ``k`` cheapest minimal triangulations (fewer if exhausted)."""
-    results = itertools.islice(
-        ranked_triangulations(graph, cost, context=context, width_bound=width_bound),
-        k,
+    stream = ranked_triangulations(
+        graph, cost, context=context, width_bound=width_bound, engine=engine
     )
-    return [r.triangulation for r in results]
+    # Deterministic close releases a process-pool engine's workers
+    # immediately instead of at garbage-collection time.
+    with contextlib.closing(stream):
+        return [r.triangulation for r in itertools.islice(stream, k)]

@@ -20,6 +20,7 @@ from collections.abc import Hashable, Iterator, Sequence
 
 from ..graphs.graph import Graph
 from ..graphs.chordal import maximal_cliques_chordal
+from ..graphs.ordering import vertex_set_sort_key
 from .decomposition import TreeDecomposition
 
 Node = Hashable
@@ -130,8 +131,7 @@ def clique_trees(triangulation: Graph) -> Iterator[TreeDecomposition]:
     if triangulation.num_vertices() and not triangulation.is_connected():
         raise ValueError("clique-tree enumeration requires a connected graph")
     cliques = sorted(
-        maximal_cliques_chordal(triangulation),
-        key=lambda c: tuple(sorted(map(repr, c))),
+        maximal_cliques_chordal(triangulation), key=vertex_set_sort_key
     )
     n = len(cliques)
     edges: list[WeightedEdge] = []

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from .graph import Graph, Vertex
 from .chordal import maximal_cliques_chordal
+from .ordering import vertex_set_sort_key
 
 Bag = frozenset[Vertex]
 
@@ -59,7 +60,7 @@ def clique_tree_from_cliques(
     that need a tree should connect component roots (zero-weight adhesions),
     which is what :func:`clique_tree` does.
     """
-    clique_list = sorted(cliques, key=lambda c: (len(c), sorted(map(repr, c))))
+    clique_list = sorted(cliques, key=lambda c: (len(c), vertex_set_sort_key(c)))
     weighted: list[tuple[int, int, int]] = []
     for i, ci in enumerate(clique_list):
         for j in range(i + 1, len(clique_list)):
@@ -95,7 +96,7 @@ def clique_tree(graph: Graph) -> tuple[set[Bag], list[tuple[Bag, Bag]]]:
         for a, b in edges:
             ds.union(a, b)
         roots: dict = {}
-        for c in sorted(cliques, key=lambda c: sorted(map(repr, c))):
+        for c in sorted(cliques, key=vertex_set_sort_key):
             root = ds.find(c)
             if root in roots and roots[root] != c:
                 continue

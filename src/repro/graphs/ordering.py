@@ -1,0 +1,49 @@
+"""Deterministic total order over arbitrary vertex labels.
+
+Several algorithms need a *stable* iteration order over vertices,
+separators or bags to make their output deterministic: the Lawler–Murty
+pivot order of the ranked enumerator, clique-tree construction, the
+brute-force oracles.  Sorting by ``repr`` — the historical approach —
+is wrong for mixed label types (``repr(10) < repr(2)`` lexicographically)
+and wastes time stringifying every vertex in hot loops.
+
+:func:`vertex_sort_key` defines a total order over any mix of the label
+types the IO layer and generators produce (numbers, strings) plus a
+``repr`` fallback for everything else.  Numbers order numerically and
+before strings; unrelated types never reach a cross-type comparison
+because the key leads with a type rank.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from .graph import Vertex
+
+__all__ = ["vertex_sort_key", "vertex_set_sort_key"]
+
+
+def vertex_sort_key(v: Vertex) -> tuple:
+    """A sort key defining a deterministic total order over vertex labels.
+
+    Numbers (including ``bool``) sort numerically and come first, strings
+    sort lexicographically after them, and any other hashable label falls
+    back to ``repr``.  The leading rank keeps the comparison within one
+    type class, so mixed-label graphs sort without ``TypeError``.
+    """
+    if isinstance(v, (int, float)):
+        return (0, "", v)
+    if isinstance(v, str):
+        return (1, v, 0)
+    return (2, repr(v), 0)
+
+
+def vertex_set_sort_key(vertices: Iterable[Vertex]) -> tuple:
+    """A sort key for vertex *sets* (separators, bags, cliques).
+
+    The key is the tuple of member keys in sorted order, so sets compare
+    lexicographically by their smallest differing member — deterministic
+    for any mix of label types, and cheaper than the old
+    ``tuple(sorted(map(repr, s)))`` idiom.
+    """
+    return tuple(sorted(map(vertex_sort_key, vertices)))

@@ -1,0 +1,84 @@
+"""Tests for the block → separator containment index and table reuse."""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.core.context import TriangulationContext
+from repro.core.mintriang import min_triangulation_and_table
+from repro.core.ranked import ranked_triangulations
+from repro.costs.classic import FillInCost
+from repro.costs.constrained import ConstrainedCost, satisfies_constraints
+from tests.conftest import connected_random_graphs
+
+
+class TestBlocksContaining:
+    def test_matches_bruteforce_subset_scan(self):
+        """The index answers exactly the old any(s <= block.vertices) scan."""
+        for g in connected_random_graphs(8, 0.4, 3, seed_base=9300):
+            ctx = TriangulationContext.build(g)
+            for s in itertools.islice(sorted(ctx.separators, key=len), 12):
+                expected = frozenset(
+                    i
+                    for i, block in enumerate(ctx.blocks)
+                    if s <= block.vertices
+                )
+                assert ctx.blocks_containing(s) == expected
+                # Cached second query returns the same answer.
+                assert ctx.blocks_containing(s) == expected
+
+    def test_empty_separator_touches_everything(self):
+        g = connected_random_graphs(7, 0.4, 1, seed_base=9400)[0]
+        ctx = TriangulationContext.build(g)
+        assert ctx.blocks_containing(frozenset()) == frozenset(
+            range(len(ctx.blocks))
+        )
+
+    def test_foreign_vertex_touches_nothing(self):
+        g = connected_random_graphs(7, 0.4, 1, seed_base=9500)[0]
+        ctx = TriangulationContext.build(g)
+        assert ctx.blocks_containing(frozenset({"not-a-vertex"})) == frozenset()
+
+    def test_touched_blocks_is_union(self):
+        g = connected_random_graphs(8, 0.4, 1, seed_base=9600)[0]
+        ctx = TriangulationContext.build(g)
+        seps = sorted(ctx.separators, key=len)[:4]
+        expected = frozenset().union(
+            *(ctx.blocks_containing(s) for s in seps)
+        )
+        assert ctx.touched_blocks(seps) == expected
+
+
+class TestConstrainedTableReuse:
+    def test_reused_table_matches_fresh_run(self):
+        """Reusing the unconstrained table under the index never changes the
+        constrained optimum — against a fresh full DP as ground truth."""
+        cost = FillInCost()
+        for g in connected_random_graphs(7, 0.45, 3, seed_base=9700):
+            ctx = TriangulationContext.build(g)
+            _first, base_table = min_triangulation_and_table(ctx, cost)
+            # Real partitions from the enumerator itself: every child
+            # (include, exclude) pair it would solve for the first pops.
+            partitions = [
+                (r.include, r.exclude)
+                for r in itertools.islice(ranked_triangulations(g, cost), 6)
+            ]
+            for include, exclude in partitions:
+                if not include and not exclude:
+                    continue
+                constrained = ConstrainedCost(
+                    cost, include=include, exclude=exclude
+                )
+                reused, _ = min_triangulation_and_table(
+                    ctx,
+                    constrained,
+                    reusable_table=base_table,
+                    constraint_separators=include | exclude,
+                )
+                fresh, _ = min_triangulation_and_table(ctx, constrained)
+                assert (reused is None) == (fresh is None)
+                if reused is not None:
+                    assert reused.cost == fresh.cost
+                    assert satisfies_constraints(
+                        g, reused.bags, include, exclude
+                    )

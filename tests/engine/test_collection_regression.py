@@ -1,0 +1,38 @@
+"""Regression guard for the ``test_registry.py`` collection collision.
+
+The seed tree had no ``__init__.py`` under ``tests/``, so pytest's default
+rootdir-relative module naming mapped ``tests/costs/test_registry.py`` and
+``tests/workloads/test_registry.py`` to the same module name and aborted
+collection.  Packages give every test module a unique dotted path; these
+tests fail loudly if someone removes one again.
+"""
+
+from __future__ import annotations
+
+import importlib
+from pathlib import Path
+
+TESTS_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_every_test_directory_is_a_package():
+    missing = [
+        str(directory.relative_to(TESTS_ROOT.parent))
+        for directory in [TESTS_ROOT, *TESTS_ROOT.rglob("*")]
+        if directory.is_dir()
+        and directory.name != "__pycache__"
+        and any(p.suffix == ".py" for p in directory.iterdir())
+        and not (directory / "__init__.py").exists()
+    ]
+    assert not missing, (
+        f"test directories without __init__.py (collection collision risk): "
+        f"{missing}"
+    )
+
+
+def test_duplicate_basenames_import_as_distinct_modules():
+    costs = importlib.import_module("tests.costs.test_registry")
+    workloads = importlib.import_module("tests.workloads.test_registry")
+    assert costs is not workloads
+    assert costs.__name__ != workloads.__name__
+    assert Path(costs.__file__) != Path(workloads.__file__)

@@ -1,0 +1,183 @@
+"""Engine tests: parallel-vs-serial equivalence and strategy plumbing."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.context import TriangulationContext
+from repro.core.ranked import ranked_triangulations, top_k_triangulations
+from repro.costs.classic import FillInCost, WidthCost
+from repro.engine import (
+    ExpansionStrategy,
+    ProcessPoolStrategy,
+    SerialStrategy,
+    resolve_engine,
+)
+from tests.conftest import connected_random_graphs
+
+
+def ranked_sequence(graph, cost, k, engine=None, context=None):
+    """The first ``k`` (cost, bags) pairs — the engine's invariant object."""
+    stream = ranked_triangulations(graph, cost, context=context, engine=engine)
+    return [
+        (r.cost, frozenset(r.triangulation.bags))
+        for r in itertools.islice(stream, k)
+    ]
+
+
+class TestParallelSerialEquivalence:
+    def test_identical_sequences_k25(self):
+        """ProcessPool emits the exact serial sequence (costs AND bags)."""
+        for g in connected_random_graphs(9, 0.4, 2, seed_base=9000):
+            for cost in (FillInCost(), WidthCost()):
+                serial = ranked_sequence(g, cost, 25)
+                parallel = ranked_sequence(
+                    g, cost, 25, engine=ProcessPoolStrategy(workers=2)
+                )
+                assert parallel == serial
+
+    def test_equivalence_with_shared_context(self):
+        g = connected_random_graphs(8, 0.45, 1, seed_base=9100)[0]
+        ctx = TriangulationContext.build(g)
+        serial = ranked_sequence(g, FillInCost(), 25, context=ctx)
+        parallel = ranked_sequence(
+            g, FillInCost(), 25, engine=ProcessPoolStrategy(2), context=ctx
+        )
+        assert parallel == serial
+
+    def test_equivalence_under_width_bound(self):
+        g = connected_random_graphs(8, 0.4, 1, seed_base=9200)[0]
+        serial = [
+            (r.cost, frozenset(r.triangulation.bags))
+            for r in ranked_triangulations(g, FillInCost(), width_bound=3)
+        ]
+        parallel = [
+            (r.cost, frozenset(r.triangulation.bags))
+            for r in ranked_triangulations(
+                g, FillInCost(), width_bound=3, engine=ProcessPoolStrategy(2)
+            )
+        ]
+        assert parallel == serial
+
+    def test_diverse_top_k_accepts_engine(self, paper_graph):
+        from repro.core.diversity import diverse_top_k
+
+        serial = diverse_top_k(paper_graph, WidthCost(), k=2)
+        parallel = diverse_top_k(
+            paper_graph, WidthCost(), k=2, engine=ProcessPoolStrategy(2)
+        )
+        assert [t.bags for t in parallel] == [t.bags for t in serial]
+
+    def test_top_k_accepts_engine(self, paper_graph):
+        serial = top_k_triangulations(paper_graph, WidthCost(), 2)
+        parallel = top_k_triangulations(
+            paper_graph, WidthCost(), 2, engine=ProcessPoolStrategy(2)
+        )
+        assert [t.bags for t in parallel] == [t.bags for t in serial]
+
+    def test_abandoned_stream_closes_pool(self, paper_graph):
+        strategy = ProcessPoolStrategy(workers=2)
+        stream = ranked_triangulations(paper_graph, WidthCost(), engine=strategy)
+        next(stream)
+        stream.close()  # GeneratorExit must reach the finally/close
+        assert strategy._executor is None
+
+    def test_strategy_instance_is_rebindable(self, paper_graph):
+        strategy = ProcessPoolStrategy(workers=2)
+        first = ranked_sequence(paper_graph, WidthCost(), 5, engine=strategy)
+        second = ranked_sequence(paper_graph, WidthCost(), 5, engine=strategy)
+        assert first == second
+
+    def test_overlapping_runs_on_one_instance_rejected(self, paper_graph):
+        """A bound strategy refuses a second concurrent enumeration (the
+        second bind would silently swap the first run's context/table)."""
+        strategy = SerialStrategy()
+        first = ranked_triangulations(paper_graph, WidthCost(), engine=strategy)
+        next(first)
+        second = ranked_triangulations(paper_graph, WidthCost(), engine=strategy)
+        with pytest.raises(RuntimeError, match="already bound"):
+            next(second)
+        first.close()
+
+
+class TestResolveEngine:
+    def test_default_is_serial(self):
+        assert isinstance(resolve_engine(None), SerialStrategy)
+
+    def test_names(self):
+        assert isinstance(resolve_engine("serial"), SerialStrategy)
+        assert isinstance(resolve_engine("process-pool"), ProcessPoolStrategy)
+        assert isinstance(resolve_engine("PROCESS"), ProcessPoolStrategy)
+
+    def test_worker_counts(self):
+        assert isinstance(resolve_engine(1), SerialStrategy)
+        pool = resolve_engine(4)
+        assert isinstance(pool, ProcessPoolStrategy)
+        assert pool.workers == 4
+
+    def test_instance_passthrough(self):
+        strategy = SerialStrategy()
+        assert resolve_engine(strategy) is strategy
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            resolve_engine("thread-pool")
+        with pytest.raises(TypeError):
+            resolve_engine(2.5)
+        with pytest.raises(TypeError):
+            resolve_engine(True)
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError):
+            ProcessPoolStrategy(workers=0)
+
+
+class TestForkFallback:
+    def test_no_fork_falls_back_to_serial(self, paper_graph, monkeypatch):
+        import repro.engine.strategy as strategy_mod
+
+        monkeypatch.setattr(
+            strategy_mod.multiprocessing,
+            "get_all_start_methods",
+            lambda: ["spawn"],
+        )
+        strategy = ProcessPoolStrategy(workers=2)
+        with pytest.warns(RuntimeWarning, match="running serially"):
+            results = ranked_sequence(
+                paper_graph, WidthCost(), 5, engine=strategy
+            )
+        assert results == ranked_sequence(paper_graph, WidthCost(), 5)
+
+    def test_no_fork_raises_when_fallback_disabled(self, paper_graph, monkeypatch):
+        import repro.engine.strategy as strategy_mod
+
+        monkeypatch.setattr(
+            strategy_mod.multiprocessing,
+            "get_all_start_methods",
+            lambda: ["spawn"],
+        )
+        strategy = ProcessPoolStrategy(workers=2, fallback_to_serial=False)
+        with pytest.raises(RuntimeError):
+            list(
+                ranked_triangulations(paper_graph, WidthCost(), engine=strategy)
+            )
+        # A failed bind must not leave the instance stuck in the bound
+        # state: once fork is "back", the same instance works.
+        monkeypatch.undo()
+        results = ranked_sequence(paper_graph, WidthCost(), 5, engine=strategy)
+        assert results == ranked_sequence(paper_graph, WidthCost(), 5)
+
+
+class TestStrategyContract:
+    def test_is_abstract(self):
+        with pytest.raises(TypeError):
+            ExpansionStrategy()  # type: ignore[abstract]
+
+    def test_public_reexports(self):
+        import repro
+
+        assert repro.SerialStrategy is SerialStrategy
+        assert repro.ProcessPoolStrategy is ProcessPoolStrategy
+        assert repro.resolve_engine is resolve_engine
