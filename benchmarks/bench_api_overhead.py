@@ -1,0 +1,114 @@
+"""Per-request latency of the session layer: context reuse vs rebuild.
+
+The whole point of `repro.api.Session` is that a serving process pays the
+expensive initialization (minimal separators, PMCs, full blocks — the
+paper's Section 7.1 "init" column) once per graph and amortizes it over
+every subsequent request.  This benchmark quantifies that: for one
+random-graph instance and one PGM (grid) instance, it serves a batch of
+identical ``top(k)`` requests three ways —
+
+* ``rebuild``    — a fresh :class:`Session` per request, i.e. the legacy
+  free-function behavior: every request re-runs the init *and* the
+  unconstrained DP;
+* ``cached-ctx`` — one shared session, but a cost *object*, so the
+  context is reused while the unconstrained DP still runs per request;
+* ``session``    — one shared session and a registry cost spec: context
+  *and* prepared DP table reused, only the Lawler–Murty expansion work
+  remains per request.
+
+Reported per row: mean per-request latency (ms) and the speedup over the
+rebuild baseline.  Every mode must serve the identical ranked page.
+Override the request count with ``REPRO_BENCH_API_REQUESTS`` and ``k``
+with ``REPRO_BENCH_API_K``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.api import Session
+from repro.costs.classic import FillInCost
+from repro.graphs.generators import erdos_renyi
+from repro.workloads.pgm import grids_instances
+from repro.bench.reporting import format_table, save_report
+
+
+def _connected_gnp(n: int, p: float, seed_base: int):
+    for seed in range(seed_base, seed_base + 50):
+        g = erdos_renyi(n, p, seed=seed)
+        if g.num_vertices() and g.is_connected():
+            return f"gnp-n{n}-p{p}", g
+    raise RuntimeError("no connected sample found")
+
+
+def _serve(get_session, graph, cost, k: int, requests: int):
+    """Mean per-request seconds plus the served page's signature."""
+    signature = None
+    started = time.perf_counter()
+    for _ in range(requests):
+        response = get_session().top(graph, cost, k=k)
+        sig = [
+            (r.rank, r.cost, frozenset(r.triangulation.bags))
+            for r in response.results
+        ]
+        if signature is None:
+            signature = sig
+        else:
+            assert sig == signature, "served sequence drifted between requests"
+    return (time.perf_counter() - started) / requests, signature
+
+
+def test_api_overhead_report(benchmark):
+    requests = int(os.environ.get("REPRO_BENCH_API_REQUESTS", "20"))
+    k = int(os.environ.get("REPRO_BENCH_API_K", "5"))
+    instances = [
+        _connected_gnp(12, 0.4, seed_base=42),
+        grids_instances()[0],  # grid-4x4: the smallest PGM workload
+    ]
+
+    def run():
+        rows = []
+        for name, graph in instances:
+            shared = Session()
+            shared.top(graph, "fill", k=k)  # warm-up: build + prepared table
+            variants = [
+                ("rebuild", Session, "fill"),  # fresh session per request
+                ("cached-ctx", lambda: shared, FillInCost()),
+                ("session", lambda: shared, "fill"),
+            ]
+            baseline = None
+            signatures = {}
+            for label, get_session, cost in variants:
+                mean_s, sig = _serve(get_session, graph, cost, k, requests)
+                signatures[label] = sig
+                if baseline is None:
+                    baseline = mean_s
+                rows.append(
+                    {
+                        "graph": name,
+                        "mode": label,
+                        "requests": requests,
+                        "k": k,
+                        "ms_per_request": round(mean_s * 1e3, 3),
+                        "speedup": round(baseline / mean_s, 2) if mean_s else 0.0,
+                    }
+                )
+            # Every serving mode must return the identical ranked page.
+            assert signatures["rebuild"] == signatures["session"]
+            assert signatures["rebuild"] == signatures["cached-ctx"]
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_table(
+        rows, title=f"Session API overhead ({requests} requests of top-{k})"
+    )
+    print("\n" + text)
+    save_report("api_overhead", rows, text)
+
+    by_mode = {}
+    for r in rows:
+        by_mode.setdefault(r["mode"], []).append(r["ms_per_request"])
+    # Context+table reuse must beat per-request rebuild on every workload.
+    for cached, rebuilt in zip(by_mode["session"], by_mode["rebuild"]):
+        assert cached <= rebuilt

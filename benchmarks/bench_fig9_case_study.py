@@ -9,7 +9,6 @@ stable delay.
 
 from __future__ import annotations
 
-import statistics
 
 from repro.bench.experiments import figure9
 from repro.bench.reporting import format_table, save_report

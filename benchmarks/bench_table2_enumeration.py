@@ -12,7 +12,6 @@ space is not exhausted.
 from __future__ import annotations
 
 from repro.bench.experiments import ckk_run, ranked_run, table2
-from repro.bench.metrics import compute_metrics
 from repro.bench.reporting import format_table, save_report
 from repro.core.context import TriangulationContext
 from repro.costs.classic import WidthCost

@@ -18,10 +18,10 @@ Furuse–Yamazaki weighted width of Section 3), and shows that
 Run:  python examples/bayesian_inference.py
 """
 
-import itertools
 import math
 
-from repro import WeightedWidthCost, WidthCost, ranked_triangulations
+from repro import WeightedWidthCost
+from repro.api import Session
 from repro.costs import vertex_weight_bag_cost
 from repro.graphs.generators import cycle_graph
 
@@ -37,11 +37,14 @@ def main() -> None:
     domains = {i: (12 if i in (0, 4) else 2) for i in range(8)}
     print("model: cycle of 8 sensors, dom sizes", [domains[i] for i in range(8)])
 
+    # One session: the initialization is built once and shared between
+    # the width-ranked probe and the domain-aware ranking below.
+    session = Session()
+
     # Width alone cannot rank: every minimal triangulation of C_8 has
     # width 2 (bags of size 3).
     widths = {
-        r.triangulation.width
-        for r in itertools.islice(ranked_triangulations(graph, WidthCost()), 20)
+        r.triangulation.width for r in session.top(graph, "width", k=20).results
     }
     print(f"widths over the first 20 width-ranked results: {sorted(widths)}")
 
@@ -53,7 +56,7 @@ def main() -> None:
 
     print("\nranked by max bag state space:")
     totals = []
-    for result in itertools.islice(ranked_triangulations(graph, cost), 10):
+    for result in session.top(graph, cost, k=10).results:
         total = state_space(result.triangulation.bags, domains)
         totals.append(total)
         print(

@@ -16,10 +16,10 @@ custom costs and runs the ranked enumerator with them:
 Run:  python examples/custom_cost_functions.py
 """
 
-import itertools
 import math
 
-from repro import BagCost, Graph, ranked_triangulations
+from repro import BagCost
+from repro.api import Session
 from repro.graphs.generators import grid_graph
 
 
@@ -55,18 +55,19 @@ class ConstraintHardCost(BagCost):
 
 def main() -> None:
     graph = grid_graph(3, 3)
+    # Both rankings share one cached initialization through the session;
+    # custom BagCost objects plug straight into the typed surface.
+    session = Session()
 
     print("=== ranked by height proxy (sum of cubed bag sizes) ===")
-    for result in itertools.islice(
-        ranked_triangulations(graph, HeightProxyCost()), 5
-    ):
+    for result in session.top(graph, HeightProxyCost(), k=5).results:
         sizes = sorted((len(b) for b in result.triangulation.bags), reverse=True)
         print(f"  #{result.rank}: cost={result.cost:.0f}  bag sizes={sizes}")
 
     corner_a, corner_b = (0, 0), (2, 2)
     print(f"\n=== width, forbidding {corner_a} and {corner_b} in one bag ===")
     cost = ConstraintHardCost(corner_a, corner_b)
-    for result in itertools.islice(ranked_triangulations(graph, cost), 5):
+    for result in session.top(graph, cost, k=5).results:
         together = any(
             corner_a in bag and corner_b in bag for bag in result.triangulation.bags
         )

@@ -21,11 +21,8 @@ Run:  python examples/join_query_optimization.py
 
 import itertools
 
-from repro import (
-    FractionalHypertreeWidthCost,
-    Hypergraph,
-    ranked_tree_decompositions,
-)
+from repro import FractionalHypertreeWidthCost, Hypergraph
+from repro.api import Session
 
 
 def adhesion_cost(decomposition) -> int:
@@ -46,7 +43,7 @@ def optimize(name: str, hyperedges, budget: int = 25) -> None:
 
     best = None
     for ranked in itertools.islice(
-        ranked_tree_decompositions(graph, cost), budget
+        Session().decomposition_stream(graph, cost), budget
     ):
         score = adhesion_cost(ranked.decomposition)
         marker = ""

@@ -14,9 +14,8 @@ sizes with those of the width-ranked stream.
 Run:  python examples/model_counting.py
 """
 
-import itertools
-
-from repro import SumExpBagCost, WidthCost, ranked_triangulations
+from repro import SumExpBagCost
+from repro.api import Session
 from repro.workloads.cnf import random_k_cnf
 
 
@@ -35,11 +34,12 @@ def main() -> None:
         f"primal graph |V|={primal.num_vertices()} |E|={primal.num_edges()}"
     )
 
+    # One session, one initialization, two rankings.
+    session = Session()
+
     print("\n=== ranked by Σ 2^|bag| (the #SAT DP cost) ===")
     best_sum = None
-    for result in itertools.islice(
-        ranked_triangulations(primal, SumExpBagCost(2.0)), 5
-    ):
+    for result in session.top(primal, SumExpBagCost(2.0), k=5).results:
         size = table_size(result.triangulation.bags)
         best_sum = size if best_sum is None else min(best_sum, size)
         print(
@@ -49,9 +49,7 @@ def main() -> None:
 
     print("\n=== ranked by width (for contrast) ===")
     width_first = None
-    for result in itertools.islice(
-        ranked_triangulations(primal, WidthCost()), 5
-    ):
+    for result in session.top(primal, "width", k=5).results:
         size = table_size(result.triangulation.bags)
         width_first = size if width_first is None else width_first
         print(

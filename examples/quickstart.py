@@ -1,20 +1,18 @@
 #!/usr/bin/env python3
-"""Quickstart: ranked enumeration of minimal triangulations.
+"""Quickstart: the `repro.api.Session` entry point.
 
 Reproduces the paper's running example (Figure 1): a 6-vertex graph with
 exactly two minimal triangulations, enumerated by increasing width and by
-increasing fill-in, then expanded into proper tree decompositions.
+increasing fill-in, expanded into proper tree decompositions, and paused
+/ resumed through a checkpoint — all through one session, which builds
+the expensive initialization (separators, PMCs, blocks) once and reuses
+it across every call.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    FillInCost,
-    Graph,
-    WidthCost,
-    ranked_tree_decompositions,
-    ranked_triangulations,
-)
+from repro import Graph
+from repro.api import Session
 
 
 def main() -> None:
@@ -30,15 +28,18 @@ def main() -> None:
             ("v", "v'"),
         ]
     )
+    session = Session()
 
     print("=== Minimal triangulations by increasing width ===")
-    for result in ranked_triangulations(graph, WidthCost()):
+    for result in session.stream(graph, "width"):
         tri = result.triangulation
         bags = sorted(sorted(bag) for bag in tri.bags)
         print(f"  #{result.rank}: width={tri.width}  fill={tri.fill_in()}  bags={bags}")
 
     print("\n=== Minimal triangulations by increasing fill-in ===")
-    for result in ranked_triangulations(graph, FillInCost()):
+    # Same graph: the session serves this from its context cache.
+    response = session.top(graph, "fill", k=10)
+    for result in response.results:
         tri = result.triangulation
         fill_edges = sorted(
             sorted(map(str, e))
@@ -46,14 +47,24 @@ def main() -> None:
             if not graph.has_edge(*e)
         )
         print(f"  #{result.rank}: fill={tri.fill_in()}  fill edges={fill_edges}")
+    print(f"  (context cached: {response.stats.context_cached}, "
+          f"expansions: {response.stats.expansions})")
 
     print("\n=== Proper tree decompositions (clique trees) by width ===")
-    for ranked in ranked_tree_decompositions(graph, WidthCost()):
+    for ranked in session.decompositions(graph, "width", k=10).results:
         td = ranked.decomposition
         print(
             f"  #{ranked.rank}: width={td.width}  nodes={len(td)}  "
             f"valid={td.is_valid(graph)}  proper={td.is_proper(graph)}"
         )
+
+    print("\n=== Pause at rank 1, resume from the checkpoint ===")
+    page = session.top(graph, "width", k=1)
+    print(f"  page 1: ranks {[r.rank for r in page.results]}")
+    token = page.checkpoint.to_bytes()  # opaque token; survives processes
+    rest = session.resume(token)
+    print(f"  resumed: ranks {[r.rank for r in rest.results]} "
+          f"(exhausted={rest.exhausted})")
 
 
 if __name__ == "__main__":

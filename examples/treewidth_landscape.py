@@ -10,14 +10,8 @@ paper's Figure 5/6 study is built on.
 Run:  python examples/treewidth_landscape.py
 """
 
-import itertools
-
-from repro import (
-    TriangulationContext,
-    WidthCost,
-    min_triangulation,
-    ranked_triangulations,
-)
+from repro import WidthCost, min_triangulation
+from repro.api import Session
 from repro.graphs.generators import (
     grid_graph,
     hypercube_graph,
@@ -27,8 +21,8 @@ from repro.graphs.generators import (
 )
 
 
-def explore(name, graph, sample_budget: int = 200) -> None:
-    ctx = TriangulationContext.build(graph)
+def explore(session: Session, name, graph, sample_budget: int = 200) -> None:
+    ctx = session.context(graph)
     stats = ctx.stats()
     optimum = min_triangulation(graph, WidthCost(), context=ctx)
     print(
@@ -39,18 +33,14 @@ def explore(name, graph, sample_budget: int = 200) -> None:
 
     # Count width-optimal minimal triangulations with the bounded variant
     # (enumerates *only* width <= tw results, no wasted work above).
-    bound = int(optimum.width)
-    count = 0
-    exhausted = True
-    for result in itertools.islice(
-        ranked_triangulations(graph, WidthCost(), width_bound=bound),
-        sample_budget,
-    ):
-        count += 1
-    else:
-        exhausted = count < sample_budget
-    suffix = "" if exhausted else "+ (sample cap hit)"
-    print(f"{'':16s} width-optimal minimal triangulations: {count}{suffix}")
+    response = session.top(
+        graph, "width", k=sample_budget, width_bound=int(optimum.width)
+    )
+    suffix = "" if response.exhausted else "+ (sample cap hit)"
+    print(
+        f"{'':16s} width-optimal minimal triangulations: "
+        f"{len(response.results)}{suffix}"
+    )
 
 
 def main() -> None:
@@ -61,9 +51,10 @@ def main() -> None:
         ("queen-5x5", queen_graph(5, 5)),
         ("hypercube-3", hypercube_graph(3)),
     ]
+    session = Session(max_contexts=len(cases))
     print("graph            size            poly-MS statistics     result")
     for name, graph in cases:
-        explore(name, graph)
+        explore(session, name, graph)
 
 
 if __name__ == "__main__":

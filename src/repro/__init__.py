@@ -6,13 +6,17 @@ decompositions) of a graph by increasing cost, for any split-monotone bag
 cost function, with polynomial delay under the poly-MS assumption or a
 constant width bound.
 
-Quick start::
+Quick start (the session layer is the public entry point)::
 
-    from repro import Graph, WidthCost, ranked_triangulations
+    from repro import Graph
+    from repro.api import Session
 
     g = Graph(edges=[(0, 1), (1, 2), (2, 3), (3, 0), (0, 4)])
-    for result in ranked_triangulations(g, WidthCost()):
+    session = Session()
+    for result in session.stream(g, "width"):
         print(result.cost, sorted(map(sorted, result.triangulation.bags)))
+    page = session.top(g, "fill", k=3)        # typed response + checkpoint
+    more = session.resume(page.checkpoint)    # continues the exact sequence
 
 See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
 reproduced evaluation.
@@ -32,6 +36,7 @@ from .costs import (
     WeightedWidthCost,
     WidthCost,
     make_cost,
+    resolve_cost,
 )
 from .core import (
     RankedDecomposition,
@@ -55,6 +60,16 @@ from .engine import (
     ProcessPoolStrategy,
     SerialStrategy,
     resolve_engine,
+)
+from .api import (
+    EnumerationRequest,
+    EnumerationResponse,
+    EnumerationStats,
+    RankedStream,
+    Session,
+    StreamCheckpoint,
+    default_session,
+    graph_fingerprint,
 )
 from .hypertree import (
     GeneralizedHypertreeDecomposition,
@@ -83,6 +98,15 @@ __all__ = [
     "FractionalHypertreeWidthCost",
     "ConstrainedCost",
     "make_cost",
+    "resolve_cost",
+    "Session",
+    "EnumerationRequest",
+    "EnumerationResponse",
+    "EnumerationStats",
+    "RankedStream",
+    "StreamCheckpoint",
+    "default_session",
+    "graph_fingerprint",
     "TriangulationContext",
     "Triangulation",
     "TreeDecomposition",

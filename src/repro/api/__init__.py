@@ -1,0 +1,67 @@
+"""``repro.api`` — the unified session layer (the public entry point).
+
+Everything the library can do — ranked enumeration of minimal
+triangulations, diverse top-k, proper tree decompositions — is served
+through one surface:
+
+* :class:`~repro.api.session.Session` — builds the expensive
+  initialization (:class:`~repro.core.context.TriangulationContext`)
+  once per graph fingerprint behind an LRU cache and exposes
+  ``stream()`` / ``top()`` / ``diverse()`` / ``decompositions()``.
+* :class:`~repro.api.request.EnumerationRequest` /
+  :class:`~repro.api.response.EnumerationResponse` — the typed
+  request/response pair behind :meth:`Session.execute`.
+* :class:`~repro.api.checkpoint.StreamCheckpoint` — a serialized
+  priority-queue frontier; :meth:`Session.resume` continues the exact
+  ranked sequence where a prior call stopped (paginated top-k).
+
+Quick start::
+
+    from repro.api import Session
+
+    session = Session()
+    page = session.top(graph, "fill", k=5)
+    for result in page.results:
+        print(result.rank, result.cost)
+    more = session.resume(page.checkpoint, k=5)   # ranks 5..9
+
+The legacy free functions (``ranked_triangulations``,
+``top_k_triangulations``, ``diverse_top_k``, ...) remain importable as
+thin deprecated wrappers over a process-wide default session
+(:func:`default_session`).
+"""
+
+from __future__ import annotations
+
+from .checkpoint import FrontierEntry, StreamCheckpoint
+from .fingerprint import graph_fingerprint
+from .request import EnumerationRequest
+from .response import EnumerationResponse, EnumerationStats
+from .session import Session
+from .stream import RankedStream
+
+__all__ = [
+    "Session",
+    "EnumerationRequest",
+    "EnumerationResponse",
+    "EnumerationStats",
+    "RankedStream",
+    "StreamCheckpoint",
+    "FrontierEntry",
+    "graph_fingerprint",
+    "default_session",
+]
+
+_DEFAULT_SESSION: Session | None = None
+
+
+def default_session() -> Session:
+    """The process-wide session behind the legacy free functions.
+
+    Created on first use with room for 16 cached contexts.  Long-running
+    services should prefer an explicitly managed :class:`Session`.
+    """
+    global _DEFAULT_SESSION
+    if _DEFAULT_SESSION is None:
+        _DEFAULT_SESSION = Session(max_contexts=16)
+    return _DEFAULT_SESSION

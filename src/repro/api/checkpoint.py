@@ -1,0 +1,114 @@
+"""Serializable checkpoints of a ranked-enumeration stream.
+
+The ranked enumerator is a priority queue over Lawler–Murty partitions:
+each frontier entry is a constraint pair ``[I, X]`` over minimal
+separators together with its minimum-cost representative (its bag set and
+κ-value) and the FIFO tie-break counter that fixes the order among
+equal-cost entries.  That frontier — plus the next rank and the next
+counter value — is the *entire* mutable state of the enumeration: the
+shared initialization (separators, PMCs, blocks) and the unconstrained DP
+table are deterministic functions of the graph and cost, so they are
+rebuilt (or fetched from the session cache) on resume rather than stored.
+
+:class:`StreamCheckpoint` captures that state.  Resuming from it via
+:meth:`repro.api.Session.resume` continues the exact emission sequence —
+bit-for-bit the suffix of an uninterrupted run — which is the serving
+primitive behind paginated top-k: answer a request for ranks ``0..k-1``,
+hand the client an opaque checkpoint token, and serve ranks ``k..k+m-1``
+later without redoing the expansion work.
+
+Checkpoints embed the graph itself (vertex labels and edges), so a token
+can be resumed by a fresh session or another process.  ``to_bytes`` /
+``from_bytes`` use :mod:`pickle`; tokens are trusted server-side state,
+not untrusted client input — never unpickle a checkpoint from an
+untrusted source.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+
+from ..graphs.graph import Graph, Vertex
+
+Separator = frozenset[Vertex]
+Bag = frozenset[Vertex]
+
+__all__ = ["FrontierEntry", "StreamCheckpoint", "CHECKPOINT_VERSION"]
+
+CHECKPOINT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FrontierEntry:
+    """One pending Lawler–Murty partition in the priority queue.
+
+    Attributes
+    ----------
+    value:
+        κ of the partition's representative (the heap priority).
+    order:
+        FIFO tie-break counter; unique per entry, so the heap order is a
+        deterministic total order.
+    bags:
+        Bag set of the representative (its maximal cliques).
+    include, exclude:
+        The ``[I, X]`` constraint pair over minimal separators.
+    """
+
+    value: float
+    order: int
+    bags: frozenset[Bag]
+    include: frozenset[Separator]
+    exclude: frozenset[Separator]
+
+
+@dataclass(frozen=True)
+class StreamCheckpoint:
+    """Full resumable state of a paused ranked stream."""
+
+    fingerprint: str
+    cost_spec: str | None
+    width_bound: int | None
+    next_rank: int
+    next_order: int
+    frontier: tuple[FrontierEntry, ...]
+    vertices: tuple[Vertex, ...]
+    edges: tuple[tuple[Vertex, Vertex], ...]
+    version: int = CHECKPOINT_VERSION
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the stream had no further answers when checkpointed."""
+        return not self.frontier
+
+    def restore_graph(self) -> Graph:
+        """Rebuild the checkpointed graph (labels and edges preserved)."""
+        return Graph(vertices=self.vertices, edges=self.edges)
+
+    def to_bytes(self) -> bytes:
+        """Serialize to an opaque token (pickle; trusted state only)."""
+        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @staticmethod
+    def from_bytes(data: bytes) -> "StreamCheckpoint":
+        """Deserialize a token produced by :meth:`to_bytes`.
+
+        Raises
+        ------
+        ValueError
+            If the payload is not a :class:`StreamCheckpoint` or carries
+            an unknown version.
+        """
+        obj = pickle.loads(data)
+        if not isinstance(obj, StreamCheckpoint):
+            raise ValueError(
+                f"checkpoint payload is {type(obj).__name__}, "
+                "expected StreamCheckpoint"
+            )
+        if obj.version != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint version {obj.version} "
+                f"(this build reads version {CHECKPOINT_VERSION})"
+            )
+        return obj

@@ -1,0 +1,61 @@
+"""Content fingerprints for graphs — the session layer's cache key.
+
+A :class:`~repro.api.session.Session` caches one
+:class:`~repro.core.context.TriangulationContext` per *graph content*, not
+per object: two :class:`~repro.graphs.graph.Graph` instances with the same
+vertex labels and edges share one initialization, while mutating a graph
+(which changes its content) naturally misses the cache instead of serving
+stale separators.  The fingerprint is therefore a digest of the canonical
+vertex/edge listing, ordered by :func:`~repro.graphs.ordering.vertex_sort_key`
+so insertion order never leaks into the key.
+
+Labels are folded in through ``repr``, which distinguishes the label types
+the IO layer and generators produce (``repr(1) != repr("1")``).  Exotic
+label types whose ``repr`` is not content-determined (e.g. defaults to an
+object address) should not be used as vertices with the session layer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..graphs.graph import Graph, Vertex
+from ..graphs.ordering import vertex_sort_key
+
+__all__ = ["graph_fingerprint", "canonical_vertices", "canonical_edges"]
+
+
+def canonical_vertices(graph: Graph) -> tuple[Vertex, ...]:
+    """The vertex labels in deterministic (content) order."""
+    return tuple(sorted(graph.vertices, key=vertex_sort_key))
+
+
+def canonical_edges(graph: Graph) -> tuple[tuple[Vertex, Vertex], ...]:
+    """The edges, each endpoint-sorted, in deterministic (content) order."""
+    edges = []
+    for u, v in graph.edges():
+        if vertex_sort_key(v) < vertex_sort_key(u):
+            u, v = v, u
+        edges.append((u, v))
+    edges.sort(key=lambda e: (vertex_sort_key(e[0]), vertex_sort_key(e[1])))
+    return tuple(edges)
+
+
+def _fold(h: "hashlib._Hash", label: Vertex) -> None:
+    h.update(repr(label).encode("utf-8", "backslashreplace"))
+    h.update(b"\x1f")  # unit separator: "ab","c" never collides with "a","bc"
+
+
+def graph_fingerprint(graph: Graph) -> str:
+    """A hex digest identifying ``graph`` by content (labels + edges)."""
+    h = hashlib.sha256()
+    vs = canonical_vertices(graph)
+    h.update(f"V:{len(vs)};".encode())
+    for v in vs:
+        _fold(h, v)
+    es = canonical_edges(graph)
+    h.update(f"E:{len(es)};".encode())
+    for u, v in es:
+        _fold(h, u)
+        _fold(h, v)
+    return h.hexdigest()

@@ -1,0 +1,102 @@
+"""Typed response objects for the session layer.
+
+Every session call returns an :class:`EnumerationResponse`: the answers,
+an :class:`EnumerationStats` block (timing, expansion counts, cache
+provenance — the quantities behind the paper's ``init`` / ``delay``
+columns), and, for ranked mode, the checkpoint from which the sequence
+continues.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from ..core.mintriang import Triangulation
+from .checkpoint import StreamCheckpoint
+
+__all__ = ["EnumerationStats", "EnumerationResponse"]
+
+
+@dataclass(frozen=True)
+class EnumerationStats:
+    """Measurements for one executed request.
+
+    Attributes
+    ----------
+    fingerprint:
+        Content fingerprint of the graph (the context cache key).
+    mode:
+        Request mode (``"ranked"`` / ``"diverse"`` / ``"decompositions"``).
+    cost_spec:
+        Cost registry name, or ``None`` when a cost object was passed.
+    emitted:
+        Answers returned in :attr:`EnumerationResponse.results`.
+    expansions:
+        Constrained ``MinTriang⟨κ[I,X]⟩`` DP runs executed — the
+        Lawler–Murty expansion work this request paid for.
+    init_seconds:
+        Wall-clock cost of the shared initialization behind this request
+        (0-ish when the context came from the session cache).
+    context_cached:
+        Whether the triangulation context was reused from the session's
+        LRU cache rather than built for this request.
+    elapsed_seconds:
+        Wall-clock time spent collecting answers (excludes a cached
+        context's original build time).
+    engine:
+        Name of the expansion backend that served the request.
+    exhausted:
+        Whether the enumeration space was fully emitted.
+    timed_out:
+        Whether collection stopped on the request's ``time_budget``.
+    """
+
+    fingerprint: str
+    mode: str
+    cost_spec: str | None
+    emitted: int
+    expansions: int
+    init_seconds: float
+    context_cached: bool
+    elapsed_seconds: float
+    engine: str
+    exhausted: bool
+    timed_out: bool = False
+
+
+@dataclass(frozen=True)
+class EnumerationResponse:
+    """Results plus stats plus (in ranked mode) a resume checkpoint.
+
+    ``results`` holds :class:`~repro.core.ranked.RankedResult` objects in
+    ranked mode, :class:`~repro.core.mintriang.Triangulation` objects in
+    diverse mode, and :class:`~repro.core.proper.RankedDecomposition`
+    objects in decompositions mode.
+    """
+
+    results: tuple
+    stats: EnumerationStats
+    checkpoint: StreamCheckpoint | None = None
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator:
+        return iter(self.results)
+
+    def __bool__(self) -> bool:
+        return bool(self.results)
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether there is nothing left to resume."""
+        return self.stats.exhausted
+
+    @property
+    def triangulations(self) -> tuple[Triangulation, ...]:
+        """The results as plain triangulations, whatever the mode."""
+        out = []
+        for r in self.results:
+            out.append(r if isinstance(r, Triangulation) else r.triangulation)
+        return tuple(out)

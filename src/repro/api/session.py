@@ -1,0 +1,695 @@
+"""Build-once, serve-many session layer over the ranked enumerator.
+
+The paper's implementation amortizes the expensive initialization step —
+minimal separators, PMCs, full blocks (Section 7.1) — across all
+``MinTriang`` calls for one graph.  :class:`Session` lifts that discipline
+to the public surface: it keeps an LRU cache of
+:class:`~repro.core.context.TriangulationContext` objects keyed by graph
+*content fingerprint* (plus width bound), caches the unconstrained DP
+table per cost spec, and answers every request — ranked, diverse, or tree
+decompositions — through one typed request/response pair.
+
+The serving primitives::
+
+    from repro.api import Session
+
+    session = Session()
+    page = session.top(graph, "fill", k=10)          # ranks 0..9
+    token = page.checkpoint.to_bytes()               # opaque resume token
+    ...
+    more = session.resume(token, k=10)               # ranks 10..19,
+                                                     # bit-identical to an
+                                                     # uninterrupted run
+
+Sessions are cheap; create one per process (or per tenant) and reuse it.
+Cache operations are lock-protected, so a session may serve concurrent
+threads; per-stream engine strategies must not be shared across
+overlapping runs (pass names or worker counts, not strategy instances,
+as the session default).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from itertools import islice
+
+from ..core.context import TriangulationContext
+from ..core.diversity import _fill_set
+from ..core.mintriang import min_triangulation_and_table
+from ..core.proper import RankedDecomposition
+from ..core.spanning import clique_trees
+from ..costs.registry import resolve_cost
+from ..graphs.graph import Graph
+from .checkpoint import StreamCheckpoint
+from .fingerprint import graph_fingerprint
+from .request import EnumerationRequest
+from .response import EnumerationResponse, EnumerationStats
+from .stream import RankedStream
+
+__all__ = ["Session"]
+
+
+def _expand_decompositions(stream, per_triangulation: int | None):
+    """Proposition 6.1: expand a ranked triangulation stream into its
+    clique trees, preserving cost order (the one shared implementation
+    behind ``decomposition_stream`` and ``decompositions``)."""
+    rank = 0
+    for result in stream:
+        trees = clique_trees(result.triangulation.chordal_graph)
+        if per_triangulation is not None:
+            trees = islice(trees, per_triangulation)
+        for td in trees:
+            yield RankedDecomposition(
+                decomposition=td,
+                cost=result.cost,
+                triangulation=result.triangulation,
+                rank=rank,
+            )
+            rank += 1
+
+
+class _CacheEntry:
+    """One cached context plus its per-cost-spec prepared DP tables."""
+
+    __slots__ = ("context", "prepared")
+
+    def __init__(self, context: TriangulationContext) -> None:
+        self.context = context
+        # cost spec (registry name) -> (first, unconstrained table)
+        self.prepared: dict[str, tuple] = {}
+
+
+class Session:
+    """A build-once context cache plus the typed enumeration entry points.
+
+    Parameters
+    ----------
+    max_contexts:
+        LRU capacity of the context cache (per ``(fingerprint,
+        width_bound)`` key).
+    engine:
+        Default expansion backend for every request that does not name
+        one: ``"serial"`` (default), ``"process-pool"``, or a worker
+        count.  Avoid strategy *instances* here — one instance cannot
+        serve overlapping streams.
+    """
+
+    def __init__(
+        self,
+        max_contexts: int = 8,
+        engine: "object | None" = None,
+    ) -> None:
+        if max_contexts < 1:
+            raise ValueError(f"max_contexts must be >= 1, got {max_contexts}")
+        self._max_contexts = max_contexts
+        self._engine = engine
+        self._contexts: OrderedDict[tuple[str, int | None], _CacheEntry] = (
+            OrderedDict()
+        )
+        self._lock = threading.RLock()
+        self._hits = 0
+        self._misses = 0
+        self._builds = 0
+
+    # ------------------------------------------------------------------
+    # Context cache
+    # ------------------------------------------------------------------
+    def context(
+        self,
+        graph: Graph,
+        width_bound: int | None = None,
+    ) -> TriangulationContext:
+        """The shared initialization for ``graph``, built at most once.
+
+        Identical-content graphs (same labels, same edges) share one
+        context regardless of object identity; a mutated graph has a new
+        fingerprint and misses the cache instead of serving stale state.
+        """
+        entry, _fp, _cached = self._entry_for(graph, width_bound)
+        return entry.context
+
+    def adopt_context(self, context: TriangulationContext) -> str:
+        """Register a prebuilt context; returns its graph fingerprint.
+
+        The context (including ``context.graph``) is cached as given —
+        do not mutate the graph afterwards, or the cache entry will no
+        longer match its fingerprint key.
+        """
+        _entry, fp, _cached = self._entry_for(
+            context.graph, context.width_bound, prebuilt=context
+        )
+        return fp
+
+    def _entry_for(
+        self,
+        graph: Graph,
+        width_bound: int | None,
+        prebuilt: TriangulationContext | None = None,
+    ) -> tuple[_CacheEntry, str, bool]:
+        if prebuilt is not None:
+            width_bound = prebuilt.width_bound
+        fp = graph_fingerprint(graph)
+        key = (fp, width_bound)
+        with self._lock:
+            entry = self._contexts.get(key)
+            if entry is not None:
+                self._contexts.move_to_end(key)
+                if prebuilt is not None and entry.context is not prebuilt:
+                    entry = _CacheEntry(prebuilt)
+                    self._contexts[key] = entry
+                    return entry, fp, False
+                self._hits += 1
+                return entry, fp, True
+            self._misses += 1
+        if prebuilt is not None:
+            context = prebuilt
+        else:
+            # Build outside the lock: initialization is the slow part.
+            # Snapshot the graph first — the cache key is content-based,
+            # so a caller mutating their graph object afterwards must not
+            # be able to poison the entry it was fingerprinted under.
+            context = TriangulationContext.build(
+                graph.copy(), width_bound=width_bound
+            )
+            with self._lock:
+                self._builds += 1
+        entry = _CacheEntry(context)
+        with self._lock:
+            existing = self._contexts.get(key)
+            if existing is not None and prebuilt is None:
+                # Lost a benign build race; serve the incumbent.
+                self._contexts.move_to_end(key)
+                return existing, fp, True
+            self._contexts[key] = entry
+            self._contexts.move_to_end(key)
+            while len(self._contexts) > self._max_contexts:
+                self._contexts.popitem(last=False)
+        return entry, fp, False
+
+    def _prepared(
+        self, entry: _CacheEntry, spec: str | None, cost: object
+    ) -> tuple | None:
+        """Cached ``(first, unconstrained table)`` for a registry cost."""
+        if spec is None:
+            return None
+        pair = entry.prepared.get(spec)
+        if pair is None:
+            pair = min_triangulation_and_table(entry.context, cost)
+            entry.prepared[spec] = pair
+        return pair
+
+    def cache_info(self) -> dict[str, int]:
+        """Context-cache counters (hits/misses/builds/current size)."""
+        with self._lock:
+            return {
+                "contexts": len(self._contexts),
+                "max_contexts": self._max_contexts,
+                "hits": self._hits,
+                "misses": self._misses,
+                "builds": self._builds,
+            }
+
+    def close(self) -> None:
+        """Drop every cached context and prepared table."""
+        with self._lock:
+            self._contexts.clear()
+
+    def _engine_spec(self, engine: "object | None") -> "object | None":
+        return engine if engine is not None else self._engine
+
+    # ------------------------------------------------------------------
+    # Streams
+    # ------------------------------------------------------------------
+    def stream(
+        self,
+        graph: Graph | str,
+        cost: "str | object" = "width",
+        *,
+        width_bound: int | None = None,
+        engine: "object | None" = None,
+        context: TriangulationContext | None = None,
+    ) -> RankedStream:
+        """Open a resumable cost-ranked stream over ``graph``.
+
+        ``context`` overrides the cache with a prebuilt initialization
+        (it is adopted into the cache; its own ``width_bound`` wins).
+        """
+        stream, _meta = self._open(
+            graph, cost, width_bound=width_bound, engine=engine, context=context
+        )
+        return stream
+
+    def _open(
+        self,
+        graph: Graph | str,
+        cost: "str | object",
+        *,
+        width_bound: int | None = None,
+        engine: "object | None" = None,
+        context: TriangulationContext | None = None,
+    ) -> tuple[RankedStream, dict]:
+        if isinstance(graph, str):
+            from ..graphs.io import read_graph
+
+            graph = read_graph(graph)
+        spec = cost if isinstance(cost, str) else None
+        if graph.num_vertices() == 0:
+            stream = RankedStream.start(
+                None, None, cost_spec=spec, fingerprint=graph_fingerprint(graph)
+            )
+            return stream, {"context_cached": False, "init_seconds": 0.0}
+        if context is None and not graph.is_connected():
+            raise ValueError(
+                "ranked enumeration requires a connected graph; "
+                "enumerate per component instead"
+            )
+        entry, fp, cached = self._entry_for(graph, width_bound, prebuilt=context)
+        cost_obj = resolve_cost(cost, entry.context.graph)
+        prepared = self._prepared(entry, spec, cost_obj)
+        stream = RankedStream.start(
+            entry.context,
+            cost_obj,
+            engine=self._engine_spec(engine),
+            cost_spec=spec,
+            fingerprint=fp,
+            prepared=prepared,
+        )
+        meta = {
+            "context_cached": cached,
+            "init_seconds": entry.context.init_seconds,
+        }
+        return stream, meta
+
+    def decomposition_stream(
+        self,
+        graph: Graph | str,
+        cost: "str | object" = "width",
+        *,
+        per_triangulation: int | None = None,
+        width_bound: int | None = None,
+        engine: "object | None" = None,
+        context: TriangulationContext | None = None,
+    ):
+        """Proper tree decompositions by increasing cost (Proposition 6.1).
+
+        Expands each enumerated triangulation into its clique trees,
+        optionally capped at ``per_triangulation`` trees each
+        (``1`` = bag-distinct results only).  Returns a generator;
+        closing it releases the underlying engine.
+        """
+        stream = self.stream(
+            graph, cost, width_bound=width_bound, engine=engine, context=context
+        )
+
+        def _closing():
+            try:
+                yield from _expand_decompositions(stream, per_triangulation)
+            finally:
+                stream.close()
+
+        return _closing()
+
+    # ------------------------------------------------------------------
+    # Typed request execution
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        request: EnumerationRequest,
+        *,
+        context: TriangulationContext | None = None,
+    ) -> EnumerationResponse:
+        """Serve one :class:`~repro.api.request.EnumerationRequest`."""
+        started = time.perf_counter()
+        graph = request.resolve_graph()
+        if request.mode == "ranked":
+            return self._execute_ranked(request, graph, started, context)
+        if request.mode == "diverse":
+            return self._execute_diverse(request, graph, started, context)
+        return self._execute_decompositions(request, graph, started, context)
+
+    def _empty_response(
+        self,
+        request: EnumerationRequest,
+        graph: Graph,
+        started: float,
+    ) -> EnumerationResponse:
+        """A zero-answer response that never touches the context cache."""
+        stats = EnumerationStats(
+            fingerprint=graph_fingerprint(graph),
+            mode=request.mode,
+            cost_spec=request.cost_spec,
+            emitted=0,
+            expansions=0,
+            init_seconds=0.0,
+            context_cached=False,
+            elapsed_seconds=time.perf_counter() - started,
+            engine="none",
+            exhausted=False,
+            timed_out=False,
+        )
+        return EnumerationResponse(results=(), stats=stats, checkpoint=None)
+
+    def _execute_ranked(
+        self,
+        request: EnumerationRequest,
+        graph: Graph,
+        started: float,
+        context: TriangulationContext | None,
+    ) -> EnumerationResponse:
+        limit = request.result_limit
+        if limit == 0:
+            return self._empty_response(request, graph, started)
+        stream, meta = self._open(
+            graph,
+            request.cost,
+            width_bound=request.width_bound,
+            engine=request.engine,
+            context=context,
+        )
+        return self._collect_ranked(
+            stream, meta, limit, request.time_budget, started
+        )
+
+    def _collect_ranked(
+        self,
+        stream: RankedStream,
+        meta: dict,
+        limit: int | None,
+        time_budget: float | None,
+        started: float,
+    ) -> EnumerationResponse:
+        results = []
+        timed_out = False
+        try:
+            while limit is None or len(results) < limit:
+                try:
+                    results.append(next(stream))
+                except StopIteration:
+                    break
+                if (
+                    time_budget is not None
+                    and time.perf_counter() - started > time_budget
+                ):
+                    timed_out = True
+                    break
+            checkpoint = stream.checkpoint()
+            stats = EnumerationStats(
+                fingerprint=stream.fingerprint,
+                mode="ranked",
+                cost_spec=stream.cost_spec,
+                emitted=len(results),
+                expansions=stream.expansions,
+                init_seconds=meta["init_seconds"],
+                context_cached=meta["context_cached"],
+                elapsed_seconds=time.perf_counter() - started,
+                engine=stream.engine_name,
+                exhausted=stream.exhausted,
+                timed_out=timed_out,
+            )
+        finally:
+            stream.close()
+        return EnumerationResponse(
+            results=tuple(results), stats=stats, checkpoint=checkpoint
+        )
+
+    def _execute_diverse(
+        self,
+        request: EnumerationRequest,
+        graph: Graph,
+        started: float,
+        context: TriangulationContext | None,
+    ) -> EnumerationResponse:
+        if request.k is None:
+            raise ValueError("diverse mode requires k")
+        limit = request.result_limit
+        if limit == 0:
+            return self._empty_response(request, graph, started)
+        assert limit is not None
+        scan_limit = (
+            request.scan_limit if request.scan_limit is not None else 25 * limit
+        )
+        stream, meta = self._open(
+            graph,
+            request.cost,
+            width_bound=request.width_bound,
+            engine=request.engine,
+            context=context,
+        )
+        kept = []
+        kept_fills: list[frozenset] = []
+        timed_out = False
+        scanned = 0
+        try:
+            for result in islice(stream, scan_limit):
+                scanned += 1
+                fill = _fill_set(result.triangulation)
+                if all(
+                    len(fill ^ other) >= request.min_distance
+                    for other in kept_fills
+                ):
+                    kept.append(result.triangulation)
+                    kept_fills.append(fill)
+                    if len(kept) >= limit:
+                        break
+                if (
+                    request.time_budget is not None
+                    and time.perf_counter() - started > request.time_budget
+                ):
+                    timed_out = True
+                    break
+            stats = EnumerationStats(
+                fingerprint=stream.fingerprint,
+                mode="diverse",
+                cost_spec=stream.cost_spec,
+                emitted=len(kept),
+                expansions=stream.expansions,
+                init_seconds=meta["init_seconds"],
+                context_cached=meta["context_cached"],
+                elapsed_seconds=time.perf_counter() - started,
+                engine=stream.engine_name,
+                exhausted=stream.exhausted,
+                timed_out=timed_out,
+            )
+        finally:
+            stream.close()
+        return EnumerationResponse(
+            results=tuple(kept), stats=stats, checkpoint=None
+        )
+
+    def _execute_decompositions(
+        self,
+        request: EnumerationRequest,
+        graph: Graph,
+        started: float,
+        context: TriangulationContext | None,
+    ) -> EnumerationResponse:
+        limit = request.result_limit
+        if limit == 0:
+            return self._empty_response(request, graph, started)
+        stream, meta = self._open(
+            graph,
+            request.cost,
+            width_bound=request.width_bound,
+            engine=request.engine,
+            context=context,
+        )
+        results: list[RankedDecomposition] = []
+        timed_out = False
+        truncated = False
+        try:
+            for ranked in _expand_decompositions(
+                stream, request.per_triangulation
+            ):
+                results.append(ranked)
+                if limit is not None and len(results) >= limit:
+                    truncated = True
+                    break
+                if (
+                    request.time_budget is not None
+                    and time.perf_counter() - started > request.time_budget
+                ):
+                    timed_out = True
+                    break
+            stats = EnumerationStats(
+                fingerprint=stream.fingerprint,
+                mode="decompositions",
+                cost_spec=stream.cost_spec,
+                emitted=len(results),
+                expansions=stream.expansions,
+                init_seconds=meta["init_seconds"],
+                context_cached=meta["context_cached"],
+                elapsed_seconds=time.perf_counter() - started,
+                engine=stream.engine_name,
+                exhausted=stream.exhausted and not truncated and not timed_out,
+                timed_out=timed_out,
+            )
+        finally:
+            stream.close()
+        return EnumerationResponse(
+            results=tuple(results), stats=stats, checkpoint=None
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience entry points
+    # ------------------------------------------------------------------
+    def top(
+        self,
+        graph: Graph | str,
+        cost: "str | object" = "width",
+        k: int | None = 10,
+        *,
+        width_bound: int | None = None,
+        engine: "object | None" = None,
+        time_budget: float | None = None,
+        answer_budget: int | None = None,
+        context: TriangulationContext | None = None,
+    ) -> EnumerationResponse:
+        """The ``k`` cheapest minimal triangulations, with a resume token."""
+        request = EnumerationRequest(
+            graph=graph,
+            cost=cost,
+            k=k,
+            mode="ranked",
+            width_bound=width_bound,
+            engine=engine,
+            time_budget=time_budget,
+            answer_budget=answer_budget,
+        )
+        return self.execute(request, context=context)
+
+    def diverse(
+        self,
+        graph: Graph | str,
+        cost: "str | object" = "width",
+        k: int = 10,
+        *,
+        min_distance: int = 1,
+        scan_limit: int | None = None,
+        width_bound: int | None = None,
+        engine: "object | None" = None,
+        context: TriangulationContext | None = None,
+    ) -> EnumerationResponse:
+        """Up to ``k`` low-cost, pairwise-``min_distance``-separated results."""
+        request = EnumerationRequest(
+            graph=graph,
+            cost=cost,
+            k=k,
+            mode="diverse",
+            min_distance=min_distance,
+            scan_limit=scan_limit,
+            width_bound=width_bound,
+            engine=engine,
+        )
+        return self.execute(request, context=context)
+
+    def decompositions(
+        self,
+        graph: Graph | str,
+        cost: "str | object" = "width",
+        k: int | None = 10,
+        *,
+        per_triangulation: int | None = None,
+        width_bound: int | None = None,
+        engine: "object | None" = None,
+        context: TriangulationContext | None = None,
+    ) -> EnumerationResponse:
+        """The ``k`` cheapest proper tree decompositions."""
+        request = EnumerationRequest(
+            graph=graph,
+            cost=cost,
+            k=k,
+            mode="decompositions",
+            per_triangulation=per_triangulation,
+            width_bound=width_bound,
+            engine=engine,
+        )
+        return self.execute(request, context=context)
+
+    # ------------------------------------------------------------------
+    # Resume
+    # ------------------------------------------------------------------
+    def resume_stream(
+        self,
+        checkpoint: "StreamCheckpoint | bytes",
+        *,
+        cost: "str | object | None" = None,
+        engine: "object | None" = None,
+    ) -> RankedStream:
+        """Reopen a paused stream; continues the exact emission sequence."""
+        stream, _meta = self._reopen(checkpoint, cost=cost, engine=engine)
+        return stream
+
+    def _reopen(
+        self,
+        checkpoint: "StreamCheckpoint | bytes",
+        *,
+        cost: "str | object | None" = None,
+        engine: "object | None" = None,
+    ) -> tuple[RankedStream, dict]:
+        if isinstance(checkpoint, (bytes, bytearray)):
+            checkpoint = StreamCheckpoint.from_bytes(bytes(checkpoint))
+        if checkpoint.exhausted:
+            stream = RankedStream.from_checkpoint(None, None, checkpoint)
+            return stream, {"context_cached": False, "init_seconds": 0.0}
+        graph = checkpoint.restore_graph()
+        if graph_fingerprint(graph) != checkpoint.fingerprint:
+            raise ValueError(
+                "checkpoint fingerprint does not match its embedded graph; "
+                "the token is corrupted"
+            )
+        entry, _fp, cached = self._entry_for(graph, checkpoint.width_bound)
+        spec: str | None
+        if cost is None:
+            spec = checkpoint.cost_spec
+            if spec is None:
+                raise ValueError(
+                    "checkpoint was created from a BagCost object and carries "
+                    "no cost registry name; pass cost= to resume"
+                )
+            cost_obj = resolve_cost(spec, entry.context.graph)
+        else:
+            spec = cost if isinstance(cost, str) else None
+            if (
+                spec is not None
+                and checkpoint.cost_spec is not None
+                and spec != checkpoint.cost_spec
+            ):
+                raise ValueError(
+                    f"checkpoint was taken under cost {checkpoint.cost_spec!r} "
+                    f"but resume requested {spec!r}"
+                )
+            cost_obj = resolve_cost(cost, entry.context.graph)
+        prepared = self._prepared(entry, spec, cost_obj)
+        stream = RankedStream.from_checkpoint(
+            entry.context,
+            cost_obj,
+            checkpoint,
+            engine=self._engine_spec(engine),
+            prepared=prepared,
+        )
+        meta = {
+            "context_cached": cached,
+            "init_seconds": entry.context.init_seconds,
+        }
+        return stream, meta
+
+    def resume(
+        self,
+        checkpoint: "StreamCheckpoint | bytes",
+        *,
+        k: int | None = None,
+        cost: "str | object | None" = None,
+        engine: "object | None" = None,
+        time_budget: float | None = None,
+    ) -> EnumerationResponse:
+        """Serve the next ``k`` answers after a checkpoint (all if ``None``).
+
+        The concatenation of the emitting call's results and this call's
+        results is bit-identical to one uninterrupted run; the response
+        carries the next checkpoint, so pagination chains indefinitely.
+        """
+        started = time.perf_counter()
+        stream, meta = self._reopen(checkpoint, cost=cost, engine=engine)
+        return self._collect_ranked(stream, meta, k, time_budget, started)

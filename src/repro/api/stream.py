@@ -1,0 +1,342 @@
+"""``RankedStream``: the resumable ranked-enumeration loop.
+
+This is ``RankedTriang⟨κ⟩(G)`` (Figure 4 of the paper) as an explicit
+state machine rather than a generator, so its priority-queue frontier can
+be checkpointed between answers and resumed later — by the same session,
+a fresh session, or another process.
+
+Lawler–Murty partitioning over the space of minimal triangulations, each
+identified with its maximal set of pairwise-parallel minimal separators
+(Parra–Scheffler).  A partition is an inclusion/exclusion constraint pair
+``[I, X]`` over minimal separators, represented in the priority queue by
+its minimum-cost member, found by ``MinTriang⟨κ[I,X]⟩`` with the
+constraints compiled into the cost (Section 6.1).
+
+Popping the minimum-cost partition emits its representative ``H`` and
+splits the remainder of the partition: with ``MinSep(H) \\ I = {S_1..S_k}``
+the children are ``[I ∪ {S_1..S_{i-1}}, X ∪ {S_i}]`` for ``i = 1..k``.
+(The paper's pseudocode writes the loop bound as ``k − 1``; the partition
+argument in the text requires covering the branch that excludes ``S_k``
+while including the rest, so we run the loop through ``k`` — with ``k-1``
+the enumeration demonstrably misses answers on small graphs, see
+``tests/core/test_ranked.py::test_partition_loop_covers_all_answers``.)
+
+Children are expanded *eagerly* when their parent is emitted, so that
+after ``next()`` returns the result of rank ``r`` the frontier is exactly
+the state "``r+1`` answers pending" — the invariant that makes
+:meth:`RankedStream.checkpoint` correct at every point.  *How* the ``k``
+independent child optimizations of one pop execute is delegated to an
+:class:`~repro.engine.strategy.ExpansionStrategy` (``engine=``): in
+process (default) or fanned across a process pool, with the identical
+emission sequence either way.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from collections.abc import Iterator
+
+from ..costs.base import BagCost
+from ..core.context import TriangulationContext
+from ..core.mintriang import Triangulation, min_triangulation_and_table
+from ..core.ranked import RankedResult
+from ..engine import ExpansionStrategy, resolve_engine
+from ..graphs.graph import Vertex
+from ..graphs.ordering import vertex_set_sort_key
+from .checkpoint import FrontierEntry, StreamCheckpoint
+from .fingerprint import canonical_edges, canonical_vertices
+
+Separator = frozenset[Vertex]
+
+#: Heap entry layout: ``(value, order, bags, include, exclude)``.  The
+#: FIFO ``order`` is unique, so comparisons never reach the frozensets.
+_HeapEntry = tuple
+
+__all__ = ["RankedStream"]
+
+#: ``(first, base_table)`` as produced by ``min_triangulation_and_table``;
+#: sessions cache this per (context, cost spec) so repeated requests and
+#: resumes skip the unconstrained DP.
+Prepared = tuple
+
+
+class RankedStream(Iterator[RankedResult]):
+    """A cost-ranked stream of minimal triangulations, pausable at any rank.
+
+    Build with :meth:`start` (rank 0) or :meth:`from_checkpoint` (resume);
+    iterate to receive :class:`~repro.core.ranked.RankedResult` objects in
+    non-decreasing cost order, :meth:`checkpoint` at any point to capture
+    the frontier, and :meth:`close` to release engine resources (also done
+    automatically on exhaustion; ``with`` blocks and
+    ``contextlib.closing`` both work).
+    """
+
+    def __init__(
+        self,
+        *,
+        context: TriangulationContext | None,
+        cost: BagCost | None,
+        cost_spec: str | None,
+        fingerprint: str,
+        heap: list[_HeapEntry],
+        next_rank: int,
+        next_order: int,
+        strategy: ExpansionStrategy | None,
+        started: float | None = None,
+    ) -> None:
+        self._context = context
+        self._cost = cost
+        self._cost_spec = cost_spec
+        self._fingerprint = fingerprint
+        self._heap = heap
+        heapq.heapify(self._heap)
+        self._rank = next_rank
+        self._base_rank = next_rank
+        self._order = next_order
+        self._strategy = strategy
+        self.engine_name = type(strategy).__name__ if strategy else "none"
+        self._expansions = 0
+        self._closed = False
+        # The delay clock: covers the unconstrained DP when this stream
+        # ran it (the constructors start the clock before preparing), so
+        # rank-0 delay keeps the paper's "init included" accounting.
+        self._started = time.perf_counter() if started is None else started
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def start(
+        cls,
+        context: TriangulationContext | None,
+        cost: BagCost | None,
+        *,
+        engine: "ExpansionStrategy | str | int | None" = None,
+        cost_spec: str | None = None,
+        fingerprint: str = "",
+        prepared: Prepared | None = None,
+    ) -> "RankedStream":
+        """Begin an enumeration at rank 0.
+
+        ``context=None`` (the empty graph) yields an exhausted stream.
+        ``prepared`` is an optional cached ``(first, base_table)`` pair;
+        without it the unconstrained ``MinTriang`` DP runs here, inside
+        the stream's delay clock.
+        """
+        started = time.perf_counter()
+        if context is None or context.graph.num_vertices() == 0:
+            return cls._exhausted(cost_spec=cost_spec, fingerprint=fingerprint)
+        assert cost is not None
+        if prepared is None:
+            prepared = min_triangulation_and_table(context, cost)
+        first, base_table = prepared
+        if first is None:
+            return cls._exhausted(
+                context=context, cost_spec=cost_spec, fingerprint=fingerprint
+            )
+        heap = [(first.cost, 0, first.bags, frozenset(), frozenset())]
+        strategy = resolve_engine(engine)
+        strategy.bind(context, cost, base_table)
+        return cls(
+            context=context,
+            cost=cost,
+            cost_spec=cost_spec,
+            fingerprint=fingerprint,
+            heap=heap,
+            next_rank=0,
+            next_order=1,
+            strategy=strategy,
+            started=started,
+        )
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        context: TriangulationContext | None,
+        cost: BagCost | None,
+        checkpoint: StreamCheckpoint,
+        *,
+        engine: "ExpansionStrategy | str | int | None" = None,
+        prepared: Prepared | None = None,
+    ) -> "RankedStream":
+        """Resume the exact sequence a prior stream paused.
+
+        The frontier (constraint pairs, representatives, tie-break
+        counters) comes from the checkpoint; the unconstrained DP table —
+        a deterministic function of (graph, cost) — is recomputed unless a
+        cached ``prepared`` pair is supplied.
+        """
+        started = time.perf_counter()
+        if not checkpoint.frontier:
+            return cls._exhausted(
+                context=context,
+                cost_spec=checkpoint.cost_spec,
+                fingerprint=checkpoint.fingerprint,
+                next_rank=checkpoint.next_rank,
+                next_order=checkpoint.next_order,
+            )
+        assert context is not None and cost is not None
+        if prepared is None:
+            prepared = min_triangulation_and_table(context, cost)
+        _first, base_table = prepared
+        heap = [
+            (e.value, e.order, e.bags, e.include, e.exclude)
+            for e in checkpoint.frontier
+        ]
+        strategy = resolve_engine(engine)
+        strategy.bind(context, cost, base_table)
+        return cls(
+            context=context,
+            cost=cost,
+            cost_spec=checkpoint.cost_spec,
+            fingerprint=checkpoint.fingerprint,
+            heap=heap,
+            next_rank=checkpoint.next_rank,
+            next_order=checkpoint.next_order,
+            strategy=strategy,
+            started=started,
+        )
+
+    @classmethod
+    def _exhausted(
+        cls,
+        context: TriangulationContext | None = None,
+        cost_spec: str | None = None,
+        fingerprint: str = "",
+        next_rank: int = 0,
+        next_order: int = 0,
+    ) -> "RankedStream":
+        return cls(
+            context=context,
+            cost=None,
+            cost_spec=cost_spec,
+            fingerprint=fingerprint,
+            heap=[],
+            next_rank=next_rank,
+            next_order=next_order,
+            strategy=None,
+        )
+
+    # ------------------------------------------------------------------
+    # Iteration
+    # ------------------------------------------------------------------
+    def __iter__(self) -> "RankedStream":
+        return self
+
+    def __next__(self) -> RankedResult:
+        if self._closed or not self._heap:
+            self.close()
+            raise StopIteration
+        value, _order, bags, include, exclude = heapq.heappop(self._heap)
+        assert self._context is not None
+        current = Triangulation(self._context.graph, bags, value)
+        result = RankedResult(
+            triangulation=current,
+            rank=self._rank,
+            elapsed_seconds=time.perf_counter() - self._started,
+            include=include,
+            exclude=exclude,
+        )
+        self._rank += 1
+
+        free = sorted(
+            current.minimal_separators - include, key=vertex_set_sort_key
+        )
+        jobs = []
+        accumulated: list[Separator] = []
+        for pivot in free:
+            jobs.append((include | frozenset(accumulated), exclude | {pivot}))
+            accumulated.append(pivot)
+        if jobs:
+            assert self._strategy is not None
+            # Outcomes come back in job (pivot) order regardless of the
+            # backend, so heap pushes — and hence the emitted sequence —
+            # are identical under every strategy.
+            outcomes = self._strategy.expand(jobs)
+            self._expansions += len(jobs)
+            for job, outcome in zip(jobs, outcomes):
+                if outcome is None:
+                    continue
+                child_bags, base_value = outcome
+                heapq.heappush(
+                    self._heap,
+                    (base_value, self._order, child_bags, job[0], job[1]),
+                )
+                self._order += 1
+        if not self._heap:
+            self.close()  # release pool workers at exhaustion, not at GC
+        return result
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def fingerprint(self) -> str:
+        """Content fingerprint of the enumerated graph."""
+        return self._fingerprint
+
+    @property
+    def cost_spec(self) -> str | None:
+        """Registry name of the cost, when it was given as one."""
+        return self._cost_spec
+
+    @property
+    def next_rank(self) -> int:
+        """Rank the next emitted result will carry."""
+        return self._rank
+
+    @property
+    def emitted(self) -> int:
+        """Number of results emitted by *this* stream object."""
+        return self._rank - self._base_rank
+
+    @property
+    def expansions(self) -> int:
+        """Constrained ``MinTriang⟨κ[I,X]⟩`` runs executed so far."""
+        return self._expansions
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the enumeration space is fully emitted."""
+        return not self._heap
+
+    def checkpoint(self) -> StreamCheckpoint:
+        """Snapshot the frontier; the stream remains usable afterwards.
+
+        The frontier is stored in sorted (pop) order — a canonical form;
+        any heap layout of the same entries pops identically because the
+        ``(value, order)`` prefix is a total order.
+        """
+        if self._context is not None:
+            graph = self._context.graph
+            vertices = canonical_vertices(graph)
+            edges = canonical_edges(graph)
+            width_bound = self._context.width_bound
+        else:
+            vertices = ()
+            edges = ()
+            width_bound = None
+        return StreamCheckpoint(
+            fingerprint=self._fingerprint,
+            cost_spec=self._cost_spec,
+            width_bound=width_bound,
+            next_rank=self._rank,
+            next_order=self._order,
+            frontier=tuple(FrontierEntry(*e) for e in sorted(self._heap)),
+            vertices=vertices,
+            edges=edges,
+        )
+
+    def close(self) -> None:
+        """Release engine resources.  Idempotent; iteration ends after."""
+        self._closed = True
+        if self._strategy is not None:
+            self._strategy.close()
+            self._strategy = None
+
+    def __enter__(self) -> "RankedStream":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()

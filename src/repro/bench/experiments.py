@@ -14,10 +14,9 @@ import statistics
 import time
 from collections.abc import Iterator, Sequence
 
+from ..api import Session
 from ..graphs.graph import Graph
-from ..costs.registry import make_cost
 from ..core.context import TriangulationContext
-from ..core.ranked import ranked_triangulations
 from ..baselines.ckk import ckk_enumeration
 from ..separators.berry import SeparatorLimitExceeded
 from ..graphs.chordal import maximal_cliques_chordal
@@ -50,14 +49,14 @@ __all__ = [
 # Shared per-graph runners
 # ---------------------------------------------------------------------------
 def _ranked_stream(
+    session: Session,
     graph: Graph,
     context: TriangulationContext,
     cost_name: str,
     offset: float,
     engine=None,
 ) -> Iterator[TimedResult]:
-    cost = make_cost(cost_name, graph)
-    stream = ranked_triangulations(graph, cost, context=context, engine=engine)
+    stream = session.stream(graph, cost_name, context=context, engine=engine)
     with contextlib.closing(stream):  # harness may abandon us mid-stream
         for result in stream:
             tri = result.triangulation
@@ -76,17 +75,22 @@ def ranked_run(
     budget: float,
     context: TriangulationContext | None = None,
     engine=None,
+    session: Session | None = None,
 ) -> TimedRun:
     """One time-budgeted RankedTriang run (init counted into the budget).
 
     ``engine`` selects the expansion backend (see
     :func:`repro.engine.resolve_engine`); the measured stream is identical
-    under every backend, only its timing changes.
+    under every backend, only its timing changes.  ``session`` supplies
+    the context cache; each run defaults to a private session so the
+    measured ``init`` reflects a cold build, as in the paper's protocol.
     """
+    if session is None:
+        session = Session()
     init_started = time.perf_counter()
     if context is None:
         try:
-            context = TriangulationContext.build(graph)
+            context = session.context(graph)
         except SeparatorLimitExceeded as exc:
             run = TimedRun(
                 algorithm=f"ranked-{cost_name}",
@@ -96,14 +100,12 @@ def ranked_run(
             )
             run.failed = str(exc)
             return run
-        init = context.init_seconds
-    else:
-        init = context.init_seconds
+    init = context.init_seconds
     return run_with_budget(
         algorithm=f"ranked-{cost_name}",
         graph_name=name,
         stream_factory=lambda: _ranked_stream(
-            graph, context, cost_name, init, engine=engine
+            session, graph, context, cost_name, init, engine=engine
         ),
         budget_seconds=budget,
         init_seconds=init,
@@ -264,6 +266,7 @@ def table2(
     excluded those rows; EXPERIMENTS.md discusses the delta).
     """
     rows: list[dict] = []
+    session = Session(max_contexts=4)  # both cost runs share one build
     for ds in datasets:
         instances = dataset(ds)
         if max_graphs_per_dataset is not None:
@@ -281,12 +284,16 @@ def table2(
             if probe.status != TERMINATED:
                 continue
             used += 1
-            context = TriangulationContext.build(graph)
+            context = session.context(graph)
             ranked_w.append(
-                compute_metrics(ranked_run(gname, graph, "width", budget, context))
+                compute_metrics(
+                    ranked_run(gname, graph, "width", budget, context, session=session)
+                )
             )
             ranked_f.append(
-                compute_metrics(ranked_run(gname, graph, "fill", budget, context))
+                compute_metrics(
+                    ranked_run(gname, graph, "fill", budget, context, session=session)
+                )
             )
             ckk_m.append(compute_metrics(ckk_run(gname, graph, budget)))
         if not used:

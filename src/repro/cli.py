@@ -20,12 +20,10 @@ import sys
 import time
 from collections.abc import Sequence
 
+from .api import Session, StreamCheckpoint, graph_fingerprint
 from .graphs.io import read_graph
-from .costs.registry import available_costs, make_cost
-from .core.context import TriangulationContext
-from .core.diversity import diverse_top_k
+from .costs.registry import available_costs, resolve_cost
 from .core.exact import minimum_fill_in, treewidth
-from .core.ranked import ranked_triangulations
 from .separators.berry import SeparatorLimitExceeded
 
 __all__ = ["main", "run", "build_parser"]
@@ -85,6 +83,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="expand Lawler-Murty children on N worker processes "
         "(1 = serial; the output sequence is identical either way)",
     )
+    p_enum.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="after printing, write the stream frontier to PATH; a later "
+        "run with --resume PATH continues the exact sequence",
+    )
+    p_enum.add_argument(
+        "--resume",
+        metavar="PATH",
+        default=None,
+        help="resume from a checkpoint written by --checkpoint instead of "
+        "starting at rank 0 (--cost/--width-bound come from the token)",
+    )
 
     p_dec = sub.add_parser(
         "decompose", help="write an optimal tree decomposition (.td)"
@@ -124,7 +136,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     print(f"edges:    {graph.num_edges()}")
     started = time.perf_counter()
     try:
-        ctx = TriangulationContext.build(graph)
+        ctx = Session().context(graph)
     except SeparatorLimitExceeded as exc:
         print(f"initialization failed: {exc}")
         return 1
@@ -143,28 +155,46 @@ def _cmd_treewidth(args: argparse.Namespace) -> int:
     graph = read_graph(args.graph)
     ctx = None
     if graph.num_vertices() and graph.is_connected():
-        ctx = TriangulationContext.build(graph)
+        ctx = Session().context(graph)
     print(f"treewidth: {treewidth(graph, context=ctx)}")
     print(f"minimum fill-in: {minimum_fill_in(graph, context=ctx)}")
     return 0
 
 
 def _cmd_enumerate(args: argparse.Namespace) -> int:
+    if args.resume is not None and args.diverse is not None:
+        print("error: --resume cannot be combined with --diverse", file=sys.stderr)
+        return 2
     graph = read_graph(args.graph)
-    cost = make_cost(args.cost, graph)
+    session = Session()
     if args.diverse is not None:
-        results = diverse_top_k(
-            graph, cost, k=args.top, min_distance=args.diverse, engine=args.workers
+        response = session.diverse(
+            graph,
+            args.cost,
+            k=args.top,
+            min_distance=args.diverse,
+            width_bound=args.width_bound,
+            engine=args.workers,
         )
-        for i, tri in enumerate(results):
-            print(
-                f"#{i}: cost={cost.evaluate(graph, tri.bags)} width={tri.width} "
-                f"fill={tri.fill_in()}"
-            )
+        for i, tri in enumerate(response.results):
+            print(f"#{i}: cost={tri.cost} width={tri.width} fill={tri.fill_in()}")
         return 0
-    stream = ranked_triangulations(
-        graph, cost, width_bound=args.width_bound, engine=args.workers
-    )
+
+    if args.resume is not None:
+        with open(args.resume, "rb") as fh:
+            token = StreamCheckpoint.from_bytes(fh.read())
+        if graph_fingerprint(graph) != token.fingerprint:
+            print(
+                f"error: checkpoint {args.resume} was taken on a different "
+                f"graph than {args.graph}",
+                file=sys.stderr,
+            )
+            return 2
+        stream = session.resume_stream(token, engine=args.workers)
+    else:
+        stream = session.stream(
+            graph, args.cost, width_bound=args.width_bound, engine=args.workers
+        )
     emitted = 0
     with contextlib.closing(stream):  # release pool workers on early exit
         for result in stream:
@@ -174,8 +204,17 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
             emitted += 1
             if emitted >= args.top:
                 break
+        if args.checkpoint is not None:
+            token = stream.checkpoint()
+            with open(args.checkpoint, "wb") as fh:
+                fh.write(token.to_bytes())
+            state = "exhausted" if token.exhausted else f"rank {token.next_rank}"
+            print(f"checkpoint written to {args.checkpoint} ({state})")
     if emitted == 0:
-        print("(no feasible triangulation)")
+        if args.resume is not None:
+            print("(nothing left to enumerate)")
+        else:
+            print("(no feasible triangulation)")
     return 0
 
 
@@ -185,7 +224,7 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
     from .graphs.td_io import write_td
 
     graph = read_graph(args.graph)
-    cost = make_cost(args.cost, graph)
+    cost = resolve_cost(args.cost, graph)
     result = min_triangulation(graph, cost)
     assert result is not None
     td = TreeDecomposition.from_bags(result.bags)

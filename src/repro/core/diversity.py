@@ -4,8 +4,7 @@ The conclusion of the paper asks: *"can we strengthen our algorithms with
 further diversity of results to maximize the potential value to the
 application? How should diversification be defined?"*
 
-This module implements the standard quality/diversity trade-off on top of
-the ranked enumerator:
+This module defines the distance metric and the dispersion helpers:
 
 * **distance** between two minimal triangulations = the symmetric
   difference of their fill sets (equivalently, of their edge sets — a
@@ -22,19 +21,21 @@ the ranked enumerator:
 Both run in polynomial time on top of the polynomial-delay stream, so the
 combined procedure keeps an end-to-end efficiency guarantee for fixed
 ``k`` and prefix size.
+
+The greedy scan itself is served by :meth:`repro.api.Session.diverse`;
+:func:`diverse_top_k` remains as a **deprecated** thin wrapper over the
+process-wide default session.
 """
 
 from __future__ import annotations
 
-import contextlib
-import itertools
+import warnings
 from collections.abc import Iterable
 
 from ..graphs.graph import Graph, Vertex
 from ..costs.base import BagCost
 from .context import TriangulationContext
 from .mintriang import Triangulation
-from .ranked import ranked_triangulations
 
 __all__ = [
     "triangulation_distance",
@@ -65,32 +66,43 @@ def diverse_top_k(
     scan_limit: int | None = None,
     context: TriangulationContext | None = None,
     engine=None,
+    width_bound: int | None = None,
 ) -> list[Triangulation]:
     """Up to ``k`` low-cost, pairwise-``min_distance``-separated results.
+
+    .. deprecated::
+        Use :meth:`repro.api.Session.diverse`; this wrapper routes
+        through the default session.
 
     Scans the cost-ranked stream (at most ``scan_limit`` results, default
     ``25 * k``) and keeps a result iff it is at distance ≥ ``min_distance``
     from everything kept so far.  With ``min_distance = 1`` this is plain
     top-k (all enumerated triangulations are distinct).  ``engine``
     selects the stream's expansion backend (see
-    :func:`repro.engine.resolve_engine`).
+    :func:`repro.engine.resolve_engine`); ``width_bound`` restricts the
+    scanned stream to triangulations of width ≤ bound, exactly as in
+    :func:`~repro.core.ranked.ranked_triangulations`.
     """
+    warnings.warn(
+        "diverse_top_k is deprecated; use repro.api.Session.diverse",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if k <= 0:
         return []
-    if scan_limit is None:
-        scan_limit = 25 * k
-    kept: list[Triangulation] = []
-    kept_fills: list[frozenset] = []
-    stream = ranked_triangulations(graph, cost, context=context, engine=engine)
-    with contextlib.closing(stream):  # release pool workers deterministically
-        for result in itertools.islice(stream, scan_limit):
-            fill = _fill_set(result.triangulation)
-            if all(len(fill ^ other) >= min_distance for other in kept_fills):
-                kept.append(result.triangulation)
-                kept_fills.append(fill)
-                if len(kept) >= k:
-                    break
-    return kept
+    from ..api import default_session
+
+    response = default_session().diverse(
+        graph,
+        cost,
+        k=k,
+        min_distance=min_distance,
+        scan_limit=scan_limit,
+        width_bound=width_bound,
+        engine=engine,
+        context=context,
+    )
+    return list(response.results)
 
 
 def max_min_dispersion_k(

@@ -6,11 +6,22 @@ clique-tree sets.  Since a bag cost gives every clique tree of one
 triangulation the same value, enumerating triangulations by increasing
 cost and expanding each into its clique trees enumerates the proper tree
 decompositions by increasing cost, preserving polynomial delay.
+
+The expansion now lives in
+:meth:`repro.api.Session.decomposition_stream`; the free functions below
+are **deprecated** thin wrappers over the process-wide default session:
+
+==========================================  =================================================
+legacy call                                 session equivalent
+==========================================  =================================================
+``ranked_tree_decompositions(g, κ)``        ``session.decomposition_stream(g, κ)``
+``top_k_tree_decompositions(g, κ, k)``      ``session.decompositions(g, κ, k=k)``
+==========================================  =================================================
 """
 
 from __future__ import annotations
 
-import itertools
+import warnings
 from collections.abc import Iterator
 from dataclasses import dataclass
 
@@ -19,10 +30,12 @@ from ..costs.base import BagCost
 from .context import TriangulationContext
 from .decomposition import TreeDecomposition
 from .mintriang import Triangulation
-from .ranked import ranked_triangulations
-from .spanning import clique_trees
 
-__all__ = ["RankedDecomposition", "ranked_tree_decompositions", "top_k_tree_decompositions"]
+__all__ = [
+    "RankedDecomposition",
+    "ranked_tree_decompositions",
+    "top_k_tree_decompositions",
+]
 
 
 @dataclass(frozen=True)
@@ -35,18 +48,31 @@ class RankedDecomposition:
     rank: int
 
 
+def _deprecated(name: str, replacement: str) -> None:
+    warnings.warn(
+        f"{name} is deprecated; use repro.api.Session.{replacement}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def ranked_tree_decompositions(
     graph: Graph,
     cost: BagCost,
     context: TriangulationContext | None = None,
     width_bound: int | None = None,
     per_triangulation: int | None = None,
+    engine: "object | None" = None,
 ) -> Iterator[RankedDecomposition]:
     """Enumerate proper tree decompositions of ``graph`` by increasing cost.
 
+    .. deprecated::
+        Use :meth:`repro.api.Session.decomposition_stream`; this wrapper
+        routes through the default session.
+
     Parameters
     ----------
-    graph, cost, context, width_bound:
+    graph, cost, context, width_bound, engine:
         As in :func:`~repro.core.ranked.ranked_triangulations`.
     per_triangulation:
         Optional cap on the number of clique trees expanded per
@@ -54,21 +80,21 @@ def ranked_tree_decompositions(
         clique trees; applications often want bag-distinct results only,
         i.e. ``per_triangulation=1``).
     """
-    rank = 0
-    for result in ranked_triangulations(
-        graph, cost, context=context, width_bound=width_bound
-    ):
-        trees = clique_trees(result.triangulation.chordal_graph)
-        if per_triangulation is not None:
-            trees = itertools.islice(trees, per_triangulation)
-        for td in trees:
-            yield RankedDecomposition(
-                decomposition=td,
-                cost=result.cost,
-                triangulation=result.triangulation,
-                rank=rank,
-            )
-            rank += 1
+    _deprecated("ranked_tree_decompositions", "decomposition_stream")
+
+    def _generate() -> Iterator[RankedDecomposition]:
+        from ..api import default_session
+
+        yield from default_session().decomposition_stream(
+            graph,
+            cost,
+            per_triangulation=per_triangulation,
+            width_bound=width_bound,
+            engine=engine,
+            context=context,
+        )
+
+    return _generate()
 
 
 def top_k_tree_decompositions(
@@ -78,17 +104,24 @@ def top_k_tree_decompositions(
     context: TriangulationContext | None = None,
     width_bound: int | None = None,
     per_triangulation: int | None = None,
+    engine: "object | None" = None,
 ) -> list[RankedDecomposition]:
-    """The ``k`` cheapest proper tree decompositions (fewer if exhausted)."""
-    return list(
-        itertools.islice(
-            ranked_tree_decompositions(
-                graph,
-                cost,
-                context=context,
-                width_bound=width_bound,
-                per_triangulation=per_triangulation,
-            ),
-            k,
-        )
+    """The ``k`` cheapest proper tree decompositions (fewer if exhausted).
+
+    .. deprecated::
+        Use :meth:`repro.api.Session.decompositions`; this wrapper routes
+        through the default session.
+    """
+    _deprecated("top_k_tree_decompositions", "decompositions")
+    from ..api import default_session
+
+    response = default_session().decompositions(
+        graph,
+        cost,
+        k=k,
+        per_triangulation=per_triangulation,
+        width_bound=width_bound,
+        engine=engine,
+        context=context,
     )
+    return list(response.results)

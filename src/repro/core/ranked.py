@@ -1,47 +1,37 @@
 """``RankedTriang⟨κ⟩(G)``: ranked enumeration of minimal triangulations
 (Figure 4 of the paper).
 
-Lawler–Murty partitioning over the space of minimal triangulations, each
-identified with its maximal set of pairwise-parallel minimal separators
-(Parra–Scheffler).  A partition is an inclusion/exclusion constraint pair
-``[I, X]`` over minimal separators, represented in the priority queue by
-its minimum-cost member, found by ``MinTriang⟨κ[I,X]⟩`` with the
-constraints compiled into the cost (Section 6.1).
+The enumeration loop itself — Lawler–Murty partitioning over the space of
+minimal triangulations, priority-queue frontier, pluggable expansion
+engine — lives in :class:`repro.api.stream.RankedStream`, where it is
+resumable from a checkpoint.  This module keeps the result type
+(:class:`RankedResult`) and the original free-function entry points,
+which are now **deprecated** thin wrappers over the process-wide default
+:class:`repro.api.Session`:
 
-Popping the minimum-cost partition emits its representative ``H`` and
-splits the remainder of the partition: with ``MinSep(H) \\ I = {S_1..S_k}``
-the children are ``[I ∪ {S_1..S_{i-1}}, X ∪ {S_i}]`` for ``i = 1..k``.
-(The paper's pseudocode writes the loop bound as ``k − 1``; the partition
-argument in the text requires covering the branch that excludes ``S_k``
-while including the rest, so we run the loop through ``k`` — with ``k-1``
-the enumeration demonstrably misses answers on small graphs, see
-``tests/core/test_ranked.py::test_partition_loop_covers_all_answers``.)
+====================================  =====================================
+legacy call                           session equivalent
+====================================  =====================================
+``ranked_triangulations(g, κ)``       ``session.stream(g, κ)``
+``top_k_triangulations(g, κ, k)``     ``session.top(g, κ, k=k)``
+====================================  =====================================
 
-The initialization (separators, PMCs, blocks) is shared across all
-``MinTriang`` invocations, as in the paper's implementation (Section 7.1).
-
-The ``k`` child optimizations of one pop are independent of each other;
-*how* they execute is delegated to an
-:class:`~repro.engine.strategy.ExpansionStrategy` (``engine=`` parameter):
-in-process (default) or fanned across a process pool, with identical
-output either way.
+Going through the session means repeated calls on the same graph reuse
+the cached initialization (separators, PMCs, blocks — Section 7.1)
+instead of rebuilding it, and string cost specs additionally reuse the
+unconstrained DP table.
 """
 
 from __future__ import annotations
 
-import contextlib
-import heapq
-import itertools
-import time
+import warnings
 from collections.abc import Iterator
 from dataclasses import dataclass
 
 from ..graphs.graph import Graph, Vertex
-from ..graphs.ordering import vertex_set_sort_key
 from ..costs.base import BagCost
 from .context import TriangulationContext
-from .mintriang import Triangulation, min_triangulation_and_table
-from ..engine import ExpansionStrategy, resolve_engine
+from .mintriang import Triangulation
 
 Separator = frozenset[Vertex]
 
@@ -59,7 +49,7 @@ class RankedResult:
     rank:
         0-based position in the output sequence.
     elapsed_seconds:
-        Wall-clock time from the start of enumeration (init included) to
+        Wall-clock time from the start (or resumption) of the stream to
         the emission of this result — the quantity behind the ``delay``
         columns of Table 2.
     include, exclude:
@@ -77,14 +67,27 @@ class RankedResult:
         return self.triangulation.cost
 
 
+def _deprecated(name: str, replacement: str) -> None:
+    warnings.warn(
+        f"{name} is deprecated; use repro.api.Session.{replacement} "
+        "(the session reuses the per-graph initialization across calls)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def ranked_triangulations(
     graph: Graph,
     cost: BagCost,
     context: TriangulationContext | None = None,
     width_bound: int | None = None,
-    engine: "ExpansionStrategy | str | int | None" = None,
+    engine: "object | None" = None,
 ) -> Iterator[RankedResult]:
     """Enumerate the minimal triangulations of ``graph`` by increasing ``κ``.
+
+    .. deprecated::
+        Use :meth:`repro.api.Session.stream`; this wrapper routes through
+        the default session.
 
     Parameters
     ----------
@@ -92,7 +95,8 @@ def ranked_triangulations(
         A connected graph.  (Ranked enumeration over a disconnected graph
         would be a ranked cross-product over components; decompose first.)
     cost:
-        A polynomial-time-computable split-monotone bag cost.
+        A polynomial-time-computable split-monotone bag cost (or a
+        registry name).
     context:
         Optional prebuilt shared initialization.
     width_bound:
@@ -111,68 +115,24 @@ def ranked_triangulations(
     :class:`RankedResult` in non-decreasing cost order; the sequence is
     complete and duplicate-free.
     """
-    started = time.perf_counter()
-    if graph.num_vertices() == 0:
-        return
-    if not graph.is_connected():
-        raise ValueError(
-            "ranked enumeration requires a connected graph; "
-            "enumerate per component instead"
+    _deprecated("ranked_triangulations", "stream")
+
+    def _generate() -> Iterator[RankedResult]:
+        from ..api import default_session
+
+        stream = default_session().stream(
+            graph,
+            cost,
+            width_bound=width_bound,
+            engine=engine,
+            context=context,
         )
-    if context is None:
-        context = TriangulationContext.build(graph, width_bound=width_bound)
+        try:
+            yield from stream
+        finally:
+            stream.close()
 
-    first, base_table = min_triangulation_and_table(context, cost)
-    if first is None:
-        return
-
-    strategy = resolve_engine(engine)
-    strategy.bind(context, cost, base_table)
-    try:
-        counter = itertools.count()  # heap tiebreak: FIFO among equal costs
-        heap: list[tuple[float, int, Triangulation, frozenset, frozenset]] = []
-        heapq.heappush(
-            heap, (first.cost, next(counter), first, frozenset(), frozenset())
-        )
-        rank = 0
-        while heap:
-            value, _, current, include, exclude = heapq.heappop(heap)
-            yield RankedResult(
-                triangulation=current,
-                rank=rank,
-                elapsed_seconds=time.perf_counter() - started,
-                include=include,
-                exclude=exclude,
-            )
-            rank += 1
-
-            free = sorted(
-                current.minimal_separators - include, key=vertex_set_sort_key
-            )
-            jobs = []
-            accumulated: list[Separator] = []
-            for pivot in free:
-                jobs.append((include | frozenset(accumulated), exclude | {pivot}))
-                accumulated.append(pivot)
-            # Outcomes come back in job (pivot) order regardless of the
-            # backend, so heap pushes — and hence the emitted sequence —
-            # are identical under every strategy.
-            for job, outcome in zip(jobs, strategy.expand(jobs)):
-                if outcome is None:
-                    continue
-                child_bags, base_value = outcome
-                heapq.heappush(
-                    heap,
-                    (
-                        base_value,
-                        next(counter),
-                        Triangulation(graph, child_bags, base_value),
-                        job[0],
-                        job[1],
-                    ),
-                )
-    finally:
-        strategy.close()
+    return _generate()
 
 
 def top_k_triangulations(
@@ -181,13 +141,23 @@ def top_k_triangulations(
     k: int,
     context: TriangulationContext | None = None,
     width_bound: int | None = None,
-    engine: "ExpansionStrategy | str | int | None" = None,
+    engine: "object | None" = None,
 ) -> list[Triangulation]:
-    """The ``k`` cheapest minimal triangulations (fewer if exhausted)."""
-    stream = ranked_triangulations(
-        graph, cost, context=context, width_bound=width_bound, engine=engine
+    """The ``k`` cheapest minimal triangulations (fewer if exhausted).
+
+    .. deprecated::
+        Use :meth:`repro.api.Session.top`; this wrapper routes through
+        the default session.
+    """
+    _deprecated("top_k_triangulations", "top")
+    from ..api import default_session
+
+    response = default_session().top(
+        graph,
+        cost,
+        k=k,
+        width_bound=width_bound,
+        engine=engine,
+        context=context,
     )
-    # Deterministic close releases a process-pool engine's workers
-    # immediately instead of at garbage-collection time.
-    with contextlib.closing(stream):
-        return [r.triangulation for r in itertools.islice(stream, k)]
+    return [r.triangulation for r in response.results]

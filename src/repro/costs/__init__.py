@@ -21,7 +21,7 @@ from .constrained import (
     is_clique_after_saturation,
     satisfies_constraints,
 )
-from .registry import available_costs, make_cost, register_cost
+from .registry import available_costs, make_cost, register_cost, resolve_cost
 
 __all__ = [
     "Bag",
@@ -46,4 +46,5 @@ __all__ = [
     "available_costs",
     "make_cost",
     "register_cost",
+    "resolve_cost",
 ]

@@ -13,7 +13,7 @@ from ..graphs.graph import Graph
 from .base import BagCost
 from .classic import FillInCost, LexWidthFillCost, SumExpBagCost, WidthCost
 
-__all__ = ["make_cost", "available_costs", "register_cost"]
+__all__ = ["make_cost", "resolve_cost", "available_costs", "register_cost"]
 
 _FACTORIES: dict[str, Callable[[Graph], BagCost]] = {
     "width": lambda graph: WidthCost(),
@@ -48,3 +48,28 @@ def make_cost(name: str, graph: Graph) -> BagCost:
             f"unknown cost {name!r}; available: {', '.join(available_costs())}"
         ) from None
     return factory(graph)
+
+
+def resolve_cost(spec: "str | BagCost", graph: Graph) -> BagCost:
+    """Normalize a cost spec — registry name or instance — into a ``BagCost``.
+
+    This is the one place strings become cost objects; the CLI, the bench
+    harness and the session API all resolve through it, so a cost
+    registered via :func:`register_cost` is immediately usable everywhere
+    by name.
+
+    Raises
+    ------
+    KeyError
+        If ``spec`` is an unregistered name.
+    TypeError
+        If ``spec`` is neither a string nor a :class:`BagCost`.
+    """
+    if isinstance(spec, BagCost):
+        return spec
+    if isinstance(spec, str):
+        return make_cost(spec, graph)
+    raise TypeError(
+        "cost spec must be a registry name or a BagCost instance, "
+        f"got {type(spec).__name__}"
+    )

@@ -30,7 +30,6 @@ from ..costs.hypergraph import Hypergraph, HypertreeWidthCost, minimum_edge_cove
 from ..core.context import TriangulationContext
 from ..core.decomposition import TreeDecomposition
 from ..core.mintriang import min_triangulation
-from ..core.proper import ranked_tree_decompositions
 
 Hyperedge = frozenset
 
@@ -161,9 +160,11 @@ def ranked_ghds(
     clique tree per triangulation (bag-equivalent clique trees have equal
     ``ghw``).
     """
+    from ..api import default_session
+
     primal = hypergraph.primal_graph()
     cost = HypertreeWidthCost(hypergraph)
-    for ranked in ranked_tree_decompositions(
+    for ranked in default_session().decomposition_stream(
         primal, cost, context=context, per_triangulation=per_triangulation
     ):
         yield ghd_from_tree_decomposition(hypergraph, ranked.decomposition)

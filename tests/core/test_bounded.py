@@ -1,6 +1,5 @@
 """Tests for the bounded-width variant (MinTriangB / Theorem 4.5)."""
 
-import pytest
 
 from repro.core.ranked import ranked_triangulations
 from repro.costs.classic import FillInCost, WidthCost

@@ -53,6 +53,21 @@ class TestDiverseTopK:
     def test_k_zero(self):
         assert diverse_top_k(cycle_graph(5), FillInCost(), 0) == []
 
+    def test_width_bound_threads_through(self):
+        """Regression: diverse_top_k used to silently ignore width bounds.
+
+        C6 has treewidth 2, so a bound of 1 must yield nothing, a bound
+        of 2 must filter nothing, and both must agree with the bounded
+        ranked stream rather than scanning the unbounded one.
+        """
+        g = cycle_graph(6)
+        assert diverse_top_k(g, FillInCost(), 5, width_bound=1) == []
+        bounded = diverse_top_k(g, FillInCost(), 5, width_bound=2)
+        unbounded = diverse_top_k(g, FillInCost(), 5)
+        assert [t.bags for t in bounded] == [t.bags for t in unbounded]
+        for tri in bounded:
+            assert tri.width <= 2
+
 
 class TestMaxMinDispersion:
     def test_selects_k(self):

@@ -1,6 +1,5 @@
 """Tests for RankedTriang: completeness, order, no duplicates, constraints."""
 
-import itertools
 
 import pytest
 

@@ -2,8 +2,13 @@
 
 import pytest
 
-from repro.costs.classic import WidthCost
-from repro.costs.registry import available_costs, make_cost, register_cost
+from repro.costs.classic import FillInCost, WidthCost
+from repro.costs.registry import (
+    available_costs,
+    make_cost,
+    register_cost,
+    resolve_cost,
+)
 from repro.graphs.generators import cycle_graph
 
 
@@ -36,3 +41,39 @@ class TestRegistry:
             from repro.costs import registry
 
             registry._FACTORIES.pop("test-width-clone", None)
+
+
+class TestResolveCost:
+    """resolve_cost is the single string→BagCost choke point (CLI, bench,
+    session API all route through it)."""
+
+    def test_name_resolves_via_registry(self):
+        g = cycle_graph(5)
+        cost = resolve_cost("width", g)
+        assert cost.evaluate(g, [frozenset({0, 1, 2})]) == 2
+
+    def test_instance_passes_through(self):
+        g = cycle_graph(5)
+        cost = FillInCost()
+        assert resolve_cost(cost, g) is cost
+
+    def test_unknown_name_raises_keyerror(self):
+        with pytest.raises(KeyError, match="unknown cost"):
+            resolve_cost("nope", cycle_graph(4))
+
+    def test_non_cost_raises_typeerror(self):
+        with pytest.raises(TypeError, match="cost spec"):
+            resolve_cost(42, cycle_graph(4))
+
+    def test_registered_names_reach_every_surface(self):
+        register_cost("test-resolve-clone", lambda g: WidthCost())
+        try:
+            g = cycle_graph(4)
+            from repro.api import Session
+
+            response = Session().top(g, "test-resolve-clone", k=1)
+            assert response.results[0].cost == 2.0
+        finally:
+            from repro.costs import registry
+
+            registry._FACTORIES.pop("test-resolve-clone", None)

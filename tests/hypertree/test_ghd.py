@@ -2,7 +2,6 @@
 
 import itertools
 
-import pytest
 
 from repro.costs.hypergraph import Hypergraph
 from repro.hypertree.ghd import (

@@ -68,6 +68,48 @@ class TestEnumerate:
             main(["enumerate", gr_file, "--cost", "bogus"])
 
 
+class TestCheckpointResume:
+    def test_resume_continues_the_sequence(self, gr_file, tmp_path, capsys):
+        token = str(tmp_path / "state.bin")
+        assert main(
+            ["enumerate", gr_file, "--cost", "fill", "--top", "2",
+             "--checkpoint", token]
+        ) == 0
+        head = [
+            line for line in capsys.readouterr().out.splitlines()
+            if line.startswith("#")
+        ]
+        assert main(["enumerate", gr_file, "--resume", token, "--top", "2"]) == 0
+        tail = [
+            line for line in capsys.readouterr().out.splitlines()
+            if line.startswith("#")
+        ]
+        assert main(["enumerate", gr_file, "--cost", "fill", "--top", "4"]) == 0
+        uninterrupted = [
+            line for line in capsys.readouterr().out.splitlines()
+            if line.startswith("#")
+        ]
+        assert head + tail == uninterrupted
+
+    def test_resume_rejects_different_graph(self, gr_file, tmp_path, capsys):
+        token = str(tmp_path / "state.bin")
+        assert main(
+            ["enumerate", gr_file, "--top", "1", "--checkpoint", token]
+        ) == 0
+        capsys.readouterr()
+        other = tmp_path / "petersen.gr"
+        write_graph(petersen_graph(), other)
+        assert main(["enumerate", str(other), "--resume", token]) == 2
+        assert "different graph" in capsys.readouterr().err
+
+    def test_resume_with_diverse_rejected(self, gr_file, tmp_path, capsys):
+        token = str(tmp_path / "state.bin")
+        assert main(
+            ["enumerate", gr_file, "--resume", token, "--diverse", "2"]
+        ) == 2
+        assert "--diverse" in capsys.readouterr().err
+
+
 class TestDatasets:
     def test_lists_families(self, capsys):
         assert main(["datasets"]) == 0

@@ -7,7 +7,6 @@ exact paths the benchmarks and examples run, at assertion strength.
 
 import itertools
 
-import pytest
 
 from repro import (
     FillInCost,

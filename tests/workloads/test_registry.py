@@ -3,7 +3,7 @@
 import pytest
 
 from repro.workloads.random_graphs import figure7_instances, figure8_instances
-from repro.workloads.registry import DATASETS, dataset, dataset_names
+from repro.workloads.registry import dataset, dataset_names
 
 
 class TestRegistry:
