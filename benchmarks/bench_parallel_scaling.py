@@ -14,8 +14,10 @@ engine's core guarantee); only the timing may differ.  On a single-core
 container the speedup hovers around (or below) 1 — the point of the
 table is the measurement harness itself, which reproduces the paper's
 delay metric under each engine.  Override the sweep with
-``REPRO_BENCH_WORKERS`` (comma-separated counts) and the per-run answer
-count with ``REPRO_BENCH_SCALING_K``.
+``REPRO_BENCH_WORKERS`` (comma-separated counts), the per-run answer
+count with ``REPRO_BENCH_SCALING_K``, and the graph kernel the shared
+context is built with via ``REPRO_BENCH_KERNEL`` (``bitset`` default /
+``sets``; see ``bench_kernel.py`` for the kernel-vs-kernel study).
 """
 
 from __future__ import annotations
@@ -28,7 +30,7 @@ from repro.core.context import TriangulationContext
 from repro.core.ranked import ranked_triangulations
 from repro.costs.classic import FillInCost
 from repro.engine import ProcessPoolStrategy, SerialStrategy
-from repro.graphs.generators import erdos_renyi
+from repro.graphs.generators import connected_erdos_renyi
 from repro.workloads.pgm import grids_instances
 from repro.bench.reporting import format_table, save_report
 
@@ -36,14 +38,6 @@ from repro.bench.reporting import format_table, save_report
 def _worker_sweep() -> list[int]:
     raw = os.environ.get("REPRO_BENCH_WORKERS", "1,2,4,8")
     return [int(tok) for tok in raw.split(",") if tok.strip()]
-
-
-def _connected_gnp(n: int, p: float, seed_base: int):
-    for seed in range(seed_base, seed_base + 50):
-        g = erdos_renyi(n, p, seed=seed)
-        if g.num_vertices() and g.is_connected():
-            return f"gnp-n{n}-p{p}", g
-    raise RuntimeError("no connected sample found")
 
 
 def _delay_run(graph, context, k: int, workers: int):
@@ -65,8 +59,9 @@ def _delay_run(graph, context, k: int, workers: int):
 
 def test_parallel_scaling_report(benchmark):
     k = int(os.environ.get("REPRO_BENCH_SCALING_K", "15"))
+    kernel = os.environ.get("REPRO_BENCH_KERNEL", "bitset")
     instances = [
-        _connected_gnp(12, 0.4, seed_base=42),
+        ("gnp-n12-p0.4", connected_erdos_renyi(12, 0.4, seed=42)),
         grids_instances()[0],  # grid-4x4: the smallest PGM workload
     ]
     sweep = _worker_sweep()
@@ -76,7 +71,7 @@ def test_parallel_scaling_report(benchmark):
     def run():
         rows = []
         for name, graph in instances:
-            context = TriangulationContext.build(graph)
+            context = TriangulationContext.build(graph, kernel=kernel)
             # Untimed warm-up: populate the context's lazy caches (children,
             # subgraphs, block containment) so the first timed row is not
             # penalized relative to later rows that share the context.
@@ -96,6 +91,7 @@ def test_parallel_scaling_report(benchmark):
                 rows.append(
                     {
                         "graph": name,
+                        "kernel": kernel,
                         "workers": workers,
                         "answers": len(seq),
                         "delay": round(delay, 4),

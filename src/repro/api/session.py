@@ -94,17 +94,27 @@ class Session:
         one: ``"serial"`` (default), ``"process-pool"``, or a worker
         count.  Avoid strategy *instances* here — one instance cannot
         serve overlapping streams.
+    kernel:
+        Graph kernel used when this session builds a context:
+        ``"bitset"`` (default; dense bitmask hot path) or ``"sets"``
+        (label-level reference path).  Both kernels serve bit-identical
+        enumeration sequences — see the README "Performance" section for
+        when to prefer ``"sets"``.
     """
 
     def __init__(
         self,
         max_contexts: int = 8,
         engine: "object | None" = None,
+        kernel: str = "bitset",
     ) -> None:
+        from ..graphs.bitgraph import validate_kernel
+
         if max_contexts < 1:
             raise ValueError(f"max_contexts must be >= 1, got {max_contexts}")
         self._max_contexts = max_contexts
         self._engine = engine
+        self._kernel = validate_kernel(kernel)
         self._contexts: OrderedDict[tuple[str, int | None], _CacheEntry] = (
             OrderedDict()
         )
@@ -171,7 +181,7 @@ class Session:
             # so a caller mutating their graph object afterwards must not
             # be able to poison the entry it was fingerprinted under.
             context = TriangulationContext.build(
-                graph.copy(), width_bound=width_bound
+                graph.copy(), width_bound=width_bound, kernel=self._kernel
             )
             with self._lock:
                 self._builds += 1
@@ -199,6 +209,11 @@ class Session:
             pair = min_triangulation_and_table(entry.context, cost)
             entry.prepared[spec] = pair
         return pair
+
+    @property
+    def kernel(self) -> str:
+        """The graph kernel this session builds contexts with."""
+        return self._kernel
 
     def cache_info(self) -> dict[str, int]:
         """Context-cache counters (hits/misses/builds/current size)."""

@@ -36,6 +36,18 @@ def _positive_int(raw: str) -> int:
     return value
 
 
+def _add_kernel_option(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--kernel`` flag of every context-building subcommand."""
+    parser.add_argument(
+        "--kernel",
+        default="bitset",
+        choices=("bitset", "sets"),
+        help="graph kernel for the enumeration hot path: bitset = dense "
+        "bitmask kernel (default), sets = label-level reference; the "
+        "output is identical either way",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -49,9 +61,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument(
         "--budget", type=float, default=30.0, help="seconds before giving up"
     )
+    _add_kernel_option(p_stats)
 
     p_tw = sub.add_parser("treewidth", help="exact treewidth and fill-in")
     p_tw.add_argument("graph")
+    _add_kernel_option(p_tw)
 
     p_enum = sub.add_parser("enumerate", help="ranked enumeration")
     p_enum.add_argument("graph")
@@ -83,6 +97,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="expand Lawler-Murty children on N worker processes "
         "(1 = serial; the output sequence is identical either way)",
     )
+    _add_kernel_option(p_enum)
     p_enum.add_argument(
         "--checkpoint",
         metavar="PATH",
@@ -136,7 +151,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     print(f"edges:    {graph.num_edges()}")
     started = time.perf_counter()
     try:
-        ctx = Session().context(graph)
+        ctx = Session(kernel=args.kernel).context(graph)
     except SeparatorLimitExceeded as exc:
         print(f"initialization failed: {exc}")
         return 1
@@ -155,7 +170,7 @@ def _cmd_treewidth(args: argparse.Namespace) -> int:
     graph = read_graph(args.graph)
     ctx = None
     if graph.num_vertices() and graph.is_connected():
-        ctx = Session().context(graph)
+        ctx = Session(kernel=args.kernel).context(graph)
     print(f"treewidth: {treewidth(graph, context=ctx)}")
     print(f"minimum fill-in: {minimum_fill_in(graph, context=ctx)}")
     return 0
@@ -166,7 +181,7 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
         print("error: --resume cannot be combined with --diverse", file=sys.stderr)
         return 2
     graph = read_graph(args.graph)
-    session = Session()
+    session = Session(kernel=args.kernel)
     if args.diverse is not None:
         response = session.diverse(
             graph,

@@ -21,17 +21,37 @@ import time
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
+from ..graphs.bitgraph import BitGraph, VertexIndexer, validate_kernel
 from ..graphs.graph import Graph, Vertex
-from ..separators.berry import minimal_separators
-from ..separators.blocks import Block, full_blocks_of_separator
+from ..graphs.ordering import vertex_set_sort_key
+from ..separators.berry import minimal_separator_masks, minimal_separators
+from ..separators.blocks import (
+    Block,
+    full_blocks_of_separator,
+    full_component_masks,
+)
 from ..separators.crossing import SeparatorFamily
-from ..pmc.enumerate import potential_maximal_cliques
-from ..pmc.predicate import minseps_of_pmc
+from ..pmc.enumerate import (
+    potential_maximal_clique_masks,
+    potential_maximal_cliques,
+)
+from ..pmc.predicate import minseps_of_pmc, minseps_of_pmc_masks
 
 Separator = frozenset[Vertex]
 PMC = frozenset[Vertex]
 
 __all__ = ["TriangulationContext"]
+
+
+def _block_order_key(block: Block) -> tuple:
+    """Canonical processing order for the DP: ascending ``|S ∪ C|`` with a
+    deterministic label-level tie-break, so both graph kernels build the
+    same block list and the DP resolves cost ties identically."""
+    return (
+        len(block),
+        vertex_set_sort_key(block.separator),
+        vertex_set_sort_key(block.component),
+    )
 
 
 @dataclass
@@ -70,6 +90,13 @@ class TriangulationContext:
     family: SeparatorFamily
     width_bound: int | None = None
     init_seconds: float = 0.0
+    #: Which graph kernel built (and serves) this context: ``"bitset"``
+    #: keeps a dense encoding for the component/neighborhood hot paths,
+    #: ``"sets"`` is the pure label-level original.
+    kernel: str = "sets"
+    indexer: VertexIndexer | None = field(default=None, repr=False)
+    bitgraph: BitGraph | None = field(default=None, repr=False)
+    _pmc_order: tuple[PMC, ...] | None = field(default=None, repr=False)
     _block_subgraphs: dict[Block, Graph] = field(default_factory=dict, repr=False)
     _children_cache: dict[tuple[Block | None, PMC], tuple[Block, ...]] = field(
         default_factory=dict, repr=False
@@ -89,6 +116,7 @@ class TriangulationContext:
         width_bound: int | None = None,
         separator_limit: int | None = None,
         pmc_limit: int | None = None,
+        kernel: str = "bitset",
     ) -> "TriangulationContext":
         """Run the initialization step for ``graph``.
 
@@ -108,43 +136,107 @@ class TriangulationContext:
             Budgets forwarded to the enumerators; exceeding one raises
             :class:`~repro.separators.berry.SeparatorLimitExceeded`.  This
             is how the experiment harness detects poly-MS violations.
+        kernel:
+            ``"bitset"`` (default) runs the enumeration hot path — minimal
+            separators, PMCs, full blocks, component queries — over dense
+            adjacency bitmasks, translating vertex labels to dense ints
+            exactly once here at the context boundary.  ``"sets"`` keeps
+            the pure label-level path (useful for debugging and as the
+            differential-testing reference).  Both kernels produce
+            identical contexts and identical downstream enumeration order.
         """
         started = time.perf_counter()
+        validate_kernel(kernel)
         if graph.num_vertices() and not graph.is_connected():
             raise ValueError(
                 "TriangulationContext requires a connected graph; "
                 "split the input into components first"
             )
-        if separators is None:
-            separators = minimal_separators(graph, limit=separator_limit)
-        if pmcs is None:
-            pmcs = potential_maximal_cliques(
-                graph, separators=separators, budget=pmc_limit
-            )
+
+        indexer: VertexIndexer | None = None
+        bitgraph: BitGraph | None = None
+        sep_masks: set[int] | None = None
+        if kernel == "bitset" and graph.num_vertices():
+            indexer = VertexIndexer(graph.vertices)
+            bitgraph = BitGraph.from_graph(graph, indexer)
+            if separators is None:
+                sep_masks = minimal_separator_masks(
+                    bitgraph, limit=separator_limit
+                )
+                separators = {indexer.labels_of(m) for m in sep_masks}
+            else:
+                sep_masks = {indexer.mask_of(s) for s in separators}
+            if pmcs is None:
+                pmc_masks = potential_maximal_clique_masks(
+                    bitgraph, separator_masks=sep_masks, budget=pmc_limit
+                )
+                pmcs = {indexer.labels_of(m) for m in pmc_masks}
+        else:
+            if separators is None:
+                separators = minimal_separators(
+                    graph, limit=separator_limit, kernel="sets"
+                )
+            if pmcs is None:
+                pmcs = potential_maximal_cliques(
+                    graph, separators=separators, budget=pmc_limit,
+                    kernel="sets",
+                )
         if width_bound is not None:
             separators = {s for s in separators if len(s) <= width_bound}
             pmcs = {om for om in pmcs if len(om) <= width_bound + 1}
+            if sep_masks is not None:
+                sep_masks = {
+                    m for m in sep_masks if m.bit_count() <= width_bound
+                }
 
-        family = SeparatorFamily(graph, separators)
+        family = SeparatorFamily(graph, separators, bitgraph=bitgraph)
         blocks: list[Block] = []
-        for s in separators:
-            blocks.extend(full_blocks_of_separator(graph, s))
-        blocks.sort(key=len)
+        if bitgraph is not None and indexer is not None:
+            assert sep_masks is not None
+            for m in sep_masks:
+                s_labels = indexer.labels_of(m)
+                for comp in full_component_masks(bitgraph, m):
+                    blocks.append(Block(s_labels, indexer.labels_of(comp)))
+        else:
+            for s in separators:
+                blocks.extend(full_blocks_of_separator(graph, s))
+        blocks.sort(key=_block_order_key)
 
+        # The PMC iteration order below (and hence each block's candidate
+        # list) is canonical for the same reason as the block order: the
+        # DP breaks cost ties by first-seen, and both kernels must break
+        # them the same way.
+        pmc_order = tuple(sorted(pmcs, key=vertex_set_sort_key))
         block_set = set(blocks)
         pmc_index: dict[Block, list[PMC]] = {b: [] for b in blocks}
-        for om in pmcs:
-            for s in minseps_of_pmc(graph, om):
-                if s not in separators:
-                    # Only possible under a width bound: the separator was
-                    # filtered out, so blocks over it are not in the DP.
-                    continue
-                rest = om - s
-                anchor = next(iter(rest))
-                component = frozenset(graph.component_of(anchor, removed=s))
-                block = Block(s, component)
-                if block in block_set:
-                    pmc_index[block].append(om)
+        for om in pmc_order:
+            if bitgraph is not None and indexer is not None:
+                om_mask = indexer.mask_of(om)
+                for s_mask in minseps_of_pmc_masks(bitgraph, om_mask):
+                    s = indexer.labels_of(s_mask)
+                    if s not in separators:
+                        # Only possible under a width bound: the separator
+                        # was filtered out, so its blocks are not in the DP.
+                        continue
+                    rest = om_mask & ~s_mask
+                    anchor = (rest & -rest).bit_length() - 1
+                    comp_mask = bitgraph.component_of(anchor, removed=s_mask)
+                    block = Block(s, indexer.labels_of(comp_mask))
+                    if block in block_set:
+                        pmc_index[block].append(om)
+            else:
+                for s in minseps_of_pmc(graph, om):
+                    if s not in separators:
+                        # Only possible under a width bound (as above).
+                        continue
+                    rest = om - s
+                    anchor = next(iter(rest))
+                    component = frozenset(
+                        graph.component_of(anchor, removed=s)
+                    )
+                    block = Block(s, component)
+                    if block in block_set:
+                        pmc_index[block].append(om)
 
         return TriangulationContext(
             graph=graph,
@@ -155,6 +247,10 @@ class TriangulationContext:
             family=family,
             width_bound=width_bound,
             init_seconds=time.perf_counter() - started,
+            kernel=kernel,
+            indexer=indexer,
+            bitgraph=bitgraph,
+            _pmc_order=pmc_order,
         )
 
     def block_subgraph(self, block: Block) -> Graph:
@@ -176,26 +272,60 @@ class TriangulationContext:
         key = (block, omega)
         cached = self._children_cache.get(key)
         if cached is None:
-            graph = self.graph
-            region = block.vertices if block is not None else graph.vertex_set()
+            bitgraph, indexer = self.bitgraph, self.indexer
             children = []
-            remaining = set(region - omega)
-            while remaining:
-                start = remaining.pop()
-                comp = {start}
-                queue = [start]
-                while queue:
-                    u = queue.pop()
-                    for w in graph.adj(u):
-                        if w in remaining:
-                            remaining.discard(w)
-                            comp.add(w)
-                            queue.append(w)
-                separator = frozenset(graph.neighborhood_of_set(comp))
-                children.append(Block(separator, frozenset(comp)))
+            if bitgraph is not None and indexer is not None:
+                region_mask = (
+                    indexer.mask_of(block.vertices)
+                    if block is not None
+                    else bitgraph.full_mask
+                )
+                remaining = region_mask & ~indexer.mask_of(omega)
+                for comp in bitgraph.components_within(remaining):
+                    separator = bitgraph.neighborhood_of_set(comp)
+                    children.append(
+                        Block(
+                            indexer.labels_of(separator),
+                            indexer.labels_of(comp),
+                        )
+                    )
+            else:
+                graph = self.graph
+                region = (
+                    block.vertices if block is not None else graph.vertex_set()
+                )
+                remaining = set(region - omega)
+                while remaining:
+                    start = remaining.pop()
+                    comp = {start}
+                    queue = [start]
+                    while queue:
+                        u = queue.pop()
+                        for w in graph.adj(u):
+                            if w in remaining:
+                                remaining.discard(w)
+                                comp.add(w)
+                                queue.append(w)
+                    separator = frozenset(graph.neighborhood_of_set(comp))
+                    children.append(Block(separator, frozenset(comp)))
             cached = tuple(children)
             self._children_cache[key] = cached
         return cached
+
+    def root_pmc_order(self) -> tuple[PMC, ...]:
+        """``PMC(G)`` in canonical (label-sorted) order.
+
+        The root loop of every ``MinTriang`` run iterates this instead of
+        the raw :attr:`pmcs` set so cost ties resolve identically under
+        both kernels and across processes (set iteration order depends on
+        insertion history; this does not).  Built eagerly by
+        :meth:`build`, lazily for hand-assembled contexts.
+        """
+        order = self._pmc_order
+        if order is None:
+            order = tuple(sorted(self.pmcs, key=vertex_set_sort_key))
+            self._pmc_order = order
+        return order
 
     def blocks_containing(self, separator: Separator) -> frozenset[int]:
         """Indices (into :attr:`blocks`) of the blocks whose vertex set
@@ -270,4 +400,5 @@ class TriangulationContext:
             "pmcs": len(self.pmcs),
             "full_blocks": len(self.blocks),
             "init_seconds": self.init_seconds,
+            "kernel": self.kernel,
         }

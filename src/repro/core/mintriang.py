@@ -177,7 +177,9 @@ def min_triangulation_and_table(
 
     best_bags = None
     best_cost = INFEASIBLE
-    for omega in context.pmcs:
+    # Canonical order (not the raw pmcs set): ties must resolve the same
+    # way under both graph kernels and across resumed processes.
+    for omega in context.root_pmc_order():
         bags = _assemble_bags(context, None, omega, table)
         if bags is None:
             continue
@@ -207,6 +209,7 @@ def min_triangulation(
     cost: BagCost,
     context: TriangulationContext | None = None,
     width_bound: int | None = None,
+    kernel: str = "bitset",
 ) -> Triangulation | None:
     """Minimum-``κ`` minimal triangulation of ``graph``.
 
@@ -228,17 +231,25 @@ def min_triangulation(
         only; ignored for disconnected inputs).
     width_bound:
         Restrict to triangulations of width ≤ bound (``MinTriangB``).
+    kernel:
+        Graph kernel for the context initialization when none is passed
+        in: ``"bitset"`` (default) or ``"sets"`` — see
+        :meth:`TriangulationContext.build`.
     """
     if context is not None:
         return min_triangulation_with_context(context, cost)
     if graph.num_vertices() == 0 or graph.is_connected():
-        ctx = TriangulationContext.build(graph, width_bound=width_bound)
+        ctx = TriangulationContext.build(
+            graph, width_bound=width_bound, kernel=kernel
+        )
         return min_triangulation_with_context(ctx, cost)
 
     all_bags: set[Bag] = set()
     for comp in graph.connected_components():
         sub = graph.subgraph(comp)
-        ctx = TriangulationContext.build(sub, width_bound=width_bound)
+        ctx = TriangulationContext.build(
+            sub, width_bound=width_bound, kernel=kernel
+        )
         result = min_triangulation_with_context(ctx, cost)
         if result is None:
             return None

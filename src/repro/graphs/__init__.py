@@ -1,6 +1,7 @@
 """Graph substrate: the data structure, chordal machinery, generators, IO."""
 
 from .graph import Graph, Vertex, Edge
+from .bitgraph import BitGraph, VertexIndexer, iter_bits, validate_kernel
 from .chordal import (
     maximum_cardinality_search,
     is_perfect_elimination_order,
@@ -25,6 +26,10 @@ __all__ = [
     "Graph",
     "Vertex",
     "Edge",
+    "BitGraph",
+    "VertexIndexer",
+    "iter_bits",
+    "validate_kernel",
     "maximum_cardinality_search",
     "is_perfect_elimination_order",
     "perfect_elimination_order",

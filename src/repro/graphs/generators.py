@@ -20,6 +20,7 @@ __all__ = [
     "grid_graph",
     "tree_graph",
     "erdos_renyi",
+    "connected_erdos_renyi",
     "gnm_random",
     "petersen_graph",
     "mycielski",
@@ -92,6 +93,24 @@ def erdos_renyi(n: int, p: float, seed: int = 0) -> Graph:
         if rng.random() < p:
             g.add_edge(u, v)
     return g
+
+
+def connected_erdos_renyi(
+    n: int, p: float, seed: int = 0, attempts: int = 50
+) -> Graph:
+    """The first *connected* ``G(n, p)`` sample at or after ``seed``.
+
+    Deterministic: seeds ``seed, seed + 1, …`` are tried in order, so the
+    benchmarks and the golden test corpus name the same instance by the
+    same ``(n, p, seed)`` triple.
+    """
+    for s in range(seed, seed + attempts):
+        g = erdos_renyi(n, p, seed=s)
+        if g.num_vertices() and g.is_connected():
+            return g
+    raise RuntimeError(
+        f"no connected G({n}, {p}) sample within {attempts} seeds of {seed}"
+    )
 
 
 def gnm_random(n: int, m: int, seed: int = 0) -> Graph:

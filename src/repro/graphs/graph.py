@@ -292,7 +292,9 @@ class Graph:
         candidate separator per crossing check), so it runs BFS directly on
         the parent adjacency structure.
         """
-        removed_set = set(removed)
+        removed_set = (
+            removed if isinstance(removed, (set, frozenset)) else set(removed)
+        )
         seen: set[Vertex] = set(removed_set)
         components: list[set[Vertex]] = []
         for start in self._adj:
@@ -307,13 +309,20 @@ class Graph:
         self, start: Vertex, removed: Iterable[Vertex] = ()
     ) -> set[Vertex]:
         """The connected component of ``G \\ removed`` containing ``start``."""
-        removed_set = set(removed)
+        removed_set = (
+            removed if isinstance(removed, (set, frozenset)) else set(removed)
+        )
         if start in removed_set:
             raise ValueError(f"start vertex {start!r} is in the removed set")
         return self._component_from(start, excluded=removed_set)
 
     def _component_from(self, start: Vertex, excluded: Iterable[Vertex]) -> set[Vertex]:
-        excluded_set = set(excluded)
+        # Hot path: callers hand in a set they already built; copying it
+        # once per component dominated the Berry loop before the hoist
+        # (see tests/separators/test_berry.py call-count regression).
+        excluded_set = (
+            excluded if isinstance(excluded, (set, frozenset)) else set(excluded)
+        )
         comp = {start}
         queue = deque((start,))
         adj = self._adj

@@ -39,18 +39,28 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+from ..graphs.bitgraph import BitGraph, VertexIndexer, validate_kernel
 from ..graphs.graph import Graph, Vertex
 from ..separators.berry import (
     SeparatorLimitExceeded,
     is_minimal_separator,
+    is_minimal_separator_mask,
+    minimal_separator_masks,
     minimal_separators,
 )
-from .predicate import is_pmc
+from .predicate import is_pmc, is_pmc_mask
 
 Separator = frozenset[Vertex]
 PMC = frozenset[Vertex]
 
-__all__ = ["potential_maximal_cliques", "prefix_minimal_separators", "one_more_vertex"]
+__all__ = [
+    "potential_maximal_cliques",
+    "potential_maximal_clique_masks",
+    "prefix_minimal_separators",
+    "prefix_minimal_separator_masks",
+    "one_more_vertex",
+    "one_more_vertex_masks",
+]
 
 
 def prefix_minimal_separators(
@@ -66,7 +76,9 @@ def prefix_minimal_separators(
     """
     n = len(order)
     if full_separators is None:
-        full_separators = minimal_separators(graph)
+        # Label-level reference pipeline: keep the fallback on the sets
+        # kernel too (callers on the fast path pass separators in).
+        full_separators = minimal_separators(graph, kernel="sets")
     per_prefix: list[set[Separator]] = [set() for _ in range(n)]
     if n == 0:
         return per_prefix
@@ -140,12 +152,139 @@ def one_more_vertex(
     return out
 
 
+# ---------------------------------------------------------------------------
+# Bitset (mask-level) kernel
+# ---------------------------------------------------------------------------
+def prefix_minimal_separator_masks(
+    bitgraph: BitGraph,
+    order: Sequence[int],
+    full_separator_masks: set[int],
+) -> list[set[int]]:
+    """Mask-level :func:`prefix_minimal_separators`.
+
+    ``order`` holds vertex *indices*; prefix graphs are induced bitmask
+    views, and the vertex-removal candidate ``S \\ {a}`` is a single
+    ``& ~bit`` (covering both branches of the set-kernel candidate
+    construction at once).
+    """
+    n = len(order)
+    per_prefix: list[set[int]] = [set() for _ in range(n)]
+    if n == 0:
+        return per_prefix
+    per_prefix[n - 1] = set(full_separator_masks)
+    prefix_mask = 0
+    for v in order:
+        prefix_mask |= 1 << v
+    for i in range(n - 1, 0, -1):
+        abit = 1 << order[i]
+        prefix_mask &= ~abit
+        smaller = bitgraph.induced(prefix_mask)
+        candidates = {s & ~abit for s in per_prefix[i]}
+        per_prefix[i - 1] = {
+            s for s in candidates if is_minimal_separator_mask(smaller, s)
+        }
+    return per_prefix
+
+
+def one_more_vertex_masks(
+    bigger: BitGraph,
+    new_vertex: int,
+    pmcs_smaller: set[int],
+    minseps_smaller: set[int],
+    minseps_bigger: set[int],
+    budget: int | None = None,
+) -> set[int]:
+    """Mask-level :func:`one_more_vertex` (identical candidate family).
+
+    ``checked`` hashes machine ints rather than frozensets, and the
+    case-4 inner condition ``inter ≠ ∅ and inter ⊄ S`` collapses to one
+    ``inter & ~S`` test.
+    """
+    abit = 1 << new_vertex
+    out: set[int] = set()
+    checked: set[int] = set()
+    labels_of = bigger.indexer.labels_of
+
+    def consider(candidate: int) -> None:
+        if candidate in checked:
+            return
+        checked.add(candidate)
+        if is_pmc_mask(bigger, candidate):
+            out.add(candidate)
+            if budget is not None and len(out) > budget:
+                raise SeparatorLimitExceeded(
+                    f"more than {budget} potential maximal cliques",
+                    partial={labels_of(m) for m in out},
+                )
+
+    consider(abit)
+    for om in pmcs_smaller:
+        consider(om)
+        consider(om | abit)
+    for s in minseps_bigger:
+        consider(s | abit)
+    for s in minseps_bigger:
+        if s & abit:
+            continue
+        for comp in bigger.components_without(s):
+            consider(s | comp)
+            for t in minseps_smaller:
+                inter = t & comp
+                if inter & ~s:
+                    consider(s | inter)
+    return out
+
+
+def potential_maximal_clique_masks(
+    bitgraph: BitGraph,
+    separator_masks: set[int] | None = None,
+    budget: int | None = None,
+    order: Sequence[int] | None = None,
+    deadline: float | None = None,
+) -> set[int]:
+    """Mask-level :func:`potential_maximal_cliques` over a bit kernel."""
+    import time
+
+    if bitgraph.num_vertices() == 0:
+        return set()
+    if order is None:
+        order = bitgraph.bfs_order()
+    if separator_masks is None:
+        separator_masks = minimal_separator_masks(bitgraph)
+    per_prefix = prefix_minimal_separator_masks(
+        bitgraph, order, separator_masks
+    )
+
+    prefix_mask = 1 << order[0]
+    pmcs: set[int] = {prefix_mask}
+    for i in range(1, len(order)):
+        a = order[i]
+        prefix_mask |= 1 << a
+        bigger = bitgraph.induced(prefix_mask)
+        pmcs = one_more_vertex_masks(
+            bigger,
+            a,
+            pmcs,
+            per_prefix[i - 1],
+            per_prefix[i],
+            budget=budget,
+        )
+        if deadline is not None and time.perf_counter() > deadline:
+            labels_of = bitgraph.indexer.labels_of
+            raise SeparatorLimitExceeded(
+                "PMC enumeration hit its time budget",
+                partial={labels_of(m) for m in pmcs},
+            )
+    return pmcs
+
+
 def potential_maximal_cliques(
     graph: Graph,
     separators: set[Separator] | None = None,
     budget: int | None = None,
     order: Sequence[Vertex] | None = None,
     deadline: float | None = None,
+    kernel: str = "bitset",
 ) -> set[PMC]:
     """All potential maximal cliques ``PMC(G)``.
 
@@ -165,15 +304,39 @@ def potential_maximal_cliques(
         Optional :func:`time.perf_counter` value bounding the wall clock
         (raises :class:`SeparatorLimitExceeded` when exceeded) — the PMC
         half of the Figure 5 tractability gate.
+    kernel:
+        ``"bitset"`` (default) runs the whole pipeline — prefix minimal
+        separators, ONE_MORE_VERTEX, the PMC predicate — over dense
+        bitmasks and converts the result once at the end; ``"sets"`` is
+        the original label-level path.  Identical output either way.
     """
     import time
 
     if graph.num_vertices() == 0:
         return set()
+    if validate_kernel(kernel) == "bitset":
+        indexer = VertexIndexer(graph.vertices)
+        bitgraph = BitGraph.from_graph(graph, indexer)
+        masks = potential_maximal_clique_masks(
+            bitgraph,
+            separator_masks=(
+                None
+                if separators is None
+                else {indexer.mask_of(s) for s in separators}
+            ),
+            budget=budget,
+            order=(
+                None if order is None else [indexer.index_of(v) for v in order]
+            ),
+            deadline=deadline,
+        )
+        return {indexer.labels_of(m) for m in masks}
     if order is None:
         order = graph.bfs_order()
     if separators is None:
-        separators = minimal_separators(graph)
+        # Stay on the label-level path: this branch is the differential
+        # reference, so it must not silently lean on the bitset kernel.
+        separators = minimal_separators(graph, kernel="sets")
     per_prefix = prefix_minimal_separators(graph, order, separators)
 
     prefix_vertices: list[Vertex] = [order[0]]

@@ -22,13 +22,20 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
+from ..graphs.bitgraph import BitGraph, iter_bits
 from ..graphs.graph import Graph, Vertex
 from ..separators.blocks import Block
 
 Separator = frozenset[Vertex]
 PMC = frozenset[Vertex]
 
-__all__ = ["is_pmc", "minseps_of_pmc", "blocks_of_pmc"]
+__all__ = [
+    "is_pmc",
+    "is_pmc_mask",
+    "minseps_of_pmc",
+    "minseps_of_pmc_masks",
+    "blocks_of_pmc",
+]
 
 
 def is_pmc(graph: Graph, omega: Iterable[Vertex]) -> bool:
@@ -54,6 +61,40 @@ def is_pmc(graph: Graph, omega: Iterable[Vertex]) -> bool:
     return True
 
 
+def is_pmc_mask(bitgraph: BitGraph, omega: int) -> bool:
+    """Mask-level :func:`is_pmc` (the PMC-enumeration hot predicate).
+
+    Condition 2 is evaluated one ``Ω``-vertex at a time: the vertices of
+    ``Ω`` that ``u`` is *not* adjacent to must all lie in the union of
+    the component neighborhoods containing ``u`` — a pair ``(u, v)`` is
+    co-located in some ``S_i`` exactly when that union covers ``v``.
+    """
+    if not omega:
+        return False
+    adj = bitgraph.adj
+    neighborhoods = []
+    for _comp, nbh in bitgraph.components_with_neighborhoods(
+        bitgraph.full_mask & ~omega
+    ):
+        # Condition 1: no full component (every N(C) is a subset of Ω).
+        if nbh == omega:
+            return False
+        neighborhoods.append(nbh)
+    # Condition 2: completability.
+    for u in iter_bits(omega):
+        bit = 1 << u
+        need = omega & ~(adj[u] | bit)
+        if not need:
+            continue
+        cover = 0
+        for nbh in neighborhoods:
+            if nbh & bit:
+                cover |= nbh
+        if need & ~cover:
+            return False
+    return True
+
+
 def minseps_of_pmc(graph: Graph, omega: Iterable[Vertex]) -> set[Separator]:
     """``MinSep_G(Ω)``: the minimal separators associated to PMC ``Ω``.
 
@@ -66,6 +107,17 @@ def minseps_of_pmc(graph: Graph, omega: Iterable[Vertex]) -> set[Separator]:
         nbh = graph.neighborhood_of_set(comp)
         if nbh:
             out.add(frozenset(nbh))
+    return out
+
+
+def minseps_of_pmc_masks(bitgraph: BitGraph, omega: int) -> set[int]:
+    """Mask-level :func:`minseps_of_pmc`."""
+    out: set[int] = set()
+    for _comp, nbh in bitgraph.components_with_neighborhoods(
+        bitgraph.full_mask & ~omega
+    ):
+        if nbh:
+            out.add(nbh)
     return out
 
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Iterator
 
+from ..graphs.bitgraph import BitGraph, iter_bits, validate_kernel
 from ..graphs.graph import Graph, Vertex
 
 Separator = frozenset[Vertex]
@@ -29,6 +30,9 @@ __all__ = [
     "is_minimal_uv_separator",
     "minimal_separators",
     "iter_minimal_separators",
+    "iter_minimal_separator_masks",
+    "minimal_separator_masks",
+    "is_minimal_separator_mask",
     "full_components",
 ]
 
@@ -92,12 +96,25 @@ def _close_separators(graph: Graph, removed: set[Vertex]) -> Iterator[Separator]
         yield frozenset(graph.neighborhood_of_set(comp))
 
 
-def iter_minimal_separators(graph: Graph) -> Iterator[Separator]:
+def iter_minimal_separators(
+    graph: Graph, kernel: str = "bitset"
+) -> Iterator[Separator]:
     """Yield every minimal separator of ``graph`` exactly once (BBC).
 
     The graph need not be connected: separators are found per component
     (the empty set is never yielded).  Yields in no particular order.
+    ``kernel`` selects the execution substrate: ``"bitset"`` (default)
+    runs the loop over dense bitmasks and converts each separator to a
+    label frozenset on emission; ``"sets"`` is the original label-level
+    path.  Both emit exactly the same set of separators.
     """
+    if validate_kernel(kernel) == "bitset" and graph.num_vertices():
+        bitgraph = BitGraph.from_graph(graph)
+        labels_of = bitgraph.indexer.labels_of
+        for mask in iter_minimal_separator_masks(bitgraph):
+            yield labels_of(mask)
+        return
+
     seen: set[Separator] = set()
     queue: deque[Separator] = deque()
 
@@ -115,16 +132,107 @@ def iter_minimal_separators(graph: Graph) -> Iterator[Separator]:
     # Closure under the BBC expansion step.
     while queue:
         separator = queue.popleft()
+        # Hoisted out of the ``x`` loop: one base set per separator, not
+        # one conversion chain per member (and ``Graph.adj`` already is a
+        # set, so the union below copies nothing extra).
+        base = set(separator)
         for x in separator:
-            removed = set(separator) | set(graph.adj(x)) | {x}
+            removed = base | graph.adj(x)
+            removed.add(x)
             for candidate in _close_separators(graph, removed):
                 yield from admit(candidate)
+
+
+# ---------------------------------------------------------------------------
+# Bitset (mask-level) kernel
+# ---------------------------------------------------------------------------
+def is_minimal_separator_mask(bitgraph: BitGraph, candidate: int) -> bool:
+    """Mask-level :func:`is_minimal_separator` (≥ 2 full components)."""
+    if not candidate:
+        return False
+    count = 0
+    for _comp, nbh in bitgraph.components_with_neighborhoods(
+        bitgraph.full_mask & ~candidate
+    ):
+        if nbh == candidate:
+            count += 1
+            if count >= 2:
+                return True
+    return False
+
+
+def iter_minimal_separator_masks(bitgraph: BitGraph) -> Iterator[int]:
+    """Mask-level BBC enumeration: every minimal separator, once each.
+
+    The logic is line-for-line the set-kernel loop with vertex sets
+    replaced by int masks; the ``seen`` set hashes machine ints instead
+    of frozensets, and components/neighborhoods are word-parallel.
+    """
+    adj = bitgraph.adj
+    full = bitgraph.full_mask
+    seen: set[int] = set()
+    queue: deque[int] = deque()
+
+    def admit(candidate: int) -> Iterator[int]:
+        if (
+            candidate
+            and candidate not in seen
+            and is_minimal_separator_mask(bitgraph, candidate)
+        ):
+            seen.add(candidate)
+            queue.append(candidate)
+            yield candidate
+
+    for v in iter_bits(full):
+        closed = adj[v] | (1 << v)
+        for _comp, nbh in bitgraph.components_with_neighborhoods(full & ~closed):
+            yield from admit(nbh)
+
+    while queue:
+        separator = queue.popleft()
+        for x in iter_bits(separator):
+            removed = separator | adj[x] | (1 << x)
+            for _comp, nbh in bitgraph.components_with_neighborhoods(
+                full & ~removed
+            ):
+                yield from admit(nbh)
+
+
+def minimal_separator_masks(
+    bitgraph: BitGraph,
+    limit: int | None = None,
+    deadline: float | None = None,
+) -> set[int]:
+    """Mask-level :func:`minimal_separators` (same budget semantics).
+
+    On a tripped budget the raised :class:`SeparatorLimitExceeded`
+    carries the partial result converted to label frozensets, so callers
+    see the same exception payload under either kernel.
+    """
+    import time
+
+    out: set[int] = set()
+    labels_of = bitgraph.indexer.labels_of
+    for sep in iter_minimal_separator_masks(bitgraph):
+        out.add(sep)
+        if limit is not None and len(out) > limit:
+            raise SeparatorLimitExceeded(
+                f"more than {limit} minimal separators",
+                partial={labels_of(m) for m in out},
+            )
+        if deadline is not None and time.perf_counter() > deadline:
+            raise SeparatorLimitExceeded(
+                "minimal separator enumeration hit its time budget",
+                partial={labels_of(m) for m in out},
+            )
+    return out
 
 
 def minimal_separators(
     graph: Graph,
     limit: int | None = None,
     deadline: float | None = None,
+    kernel: str = "bitset",
 ) -> set[Separator]:
     """All minimal separators of ``graph`` (``MinSep(G)``).
 
@@ -132,6 +240,10 @@ def minimal_separators(
     ----------
     graph:
         Input graph.
+    kernel:
+        ``"bitset"`` (default) enumerates over dense bitmasks and
+        converts to label frozensets once per separator; ``"sets"`` is
+        the original label-level path.  Identical output either way.
     limit:
         If given, raise :class:`SeparatorLimitExceeded` as soon as more than
         ``limit`` separators have been produced.  This implements the
@@ -146,7 +258,7 @@ def minimal_separators(
     import time
 
     out: set[Separator] = set()
-    for sep in iter_minimal_separators(graph):
+    for sep in iter_minimal_separators(graph, kernel=kernel):
         out.add(sep)
         if limit is not None and len(out) > limit:
             raise SeparatorLimitExceeded(

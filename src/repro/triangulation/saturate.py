@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
+from ..graphs.bitgraph import BitGraph, validate_kernel
 from ..graphs.graph import Graph, Vertex
 from ..graphs.cliquetree import minimal_separators_chordal
 
@@ -29,24 +30,48 @@ __all__ = [
 ]
 
 
-def saturate_separators(graph: Graph, separators: Iterable[Separator]) -> Graph:
+def _saturate_masked(graph: Graph, groups: Iterable[Iterable[Vertex]]) -> Graph:
+    """Saturate every vertex group of ``groups`` via the bitset kernel.
+
+    One pass encodes the graph as adjacency bitmasks, each group becomes
+    a single mask OR per member (instead of ``O(|U|^2)`` set inserts),
+    and one pass decodes back to a label-level :class:`Graph`.
+    """
+    bitgraph = BitGraph.from_graph(graph)
+    mask_of = bitgraph.indexer.mask_of
+    for group in groups:
+        bitgraph.saturate(mask_of(group))
+    return bitgraph.to_graph()
+
+
+def saturate_separators(
+    graph: Graph, separators: Iterable[Separator], kernel: str = "bitset"
+) -> Graph:
     """``G`` with every separator in ``separators`` saturated into a clique.
 
     When ``separators`` is a maximal pairwise-parallel set of minimal
     separators the result is a minimal triangulation (Theorem 2.5(1)).
+    ``kernel="bitset"`` (default) saturates word-parallel over adjacency
+    bitmasks; ``"sets"`` mutates a :class:`Graph` copy directly.
     """
+    if validate_kernel(kernel) == "bitset" and graph.num_vertices():
+        return _saturate_masked(graph, separators)
     out = graph.copy()
     for s in separators:
         out.saturate(s)
     return out
 
 
-def saturate_bags(graph: Graph, bags: Iterable[Iterable[Vertex]]) -> Graph:
+def saturate_bags(
+    graph: Graph, bags: Iterable[Iterable[Vertex]], kernel: str = "bitset"
+) -> Graph:
     """``H_T``: the graph obtained from ``G`` by saturating every bag.
 
     This is the graph the constraint semantics of Section 6.1 are defined
     on (``κ[I,X]`` checks clique-ness of constraint separators in ``H_T``).
     """
+    if validate_kernel(kernel) == "bitset" and graph.num_vertices():
+        return _saturate_masked(graph, bags)
     out = graph.copy()
     for bag in bags:
         out.saturate(bag)

@@ -59,3 +59,64 @@ class TestMisOracle:
         # Catalan(5) = 42; brute force over 14 non-edges is slow, the MIS
         # oracle is the fast ground truth at this size.
         assert len(minimal_triangulations_via_mis(cycle_graph(7))) == 42
+
+
+class TestBitsetKernelAgainstOracle:
+    """Brute-force cross-check of the bitset kernel (ISSUE 3 satellite).
+
+    On every graph with ≤ 8 vertices in the corpus, exhaustively
+    enumerate with ``kernel="bitset"`` and verify each emitted
+    triangulation is chordal, inclusion-minimal (its fill set appears in
+    the brute-force oracle's answer set), and cost-correct — and that
+    the *complete* enumeration matches the oracle exactly.
+    """
+
+    def _corpus(self):
+        corpus = [
+            path_graph(4),
+            cycle_graph(5),
+            cycle_graph(6),
+            complete_graph(4),
+        ]
+        corpus.extend(connected_random_graphs(7, 0.4, 4, seed_base=2100))
+        # Denser n=8 samples: brute force is exponential in the number of
+        # *non*-edges, so sparse 8-vertex graphs dominate the suite's time.
+        corpus.extend(connected_random_graphs(8, 0.55, 3, seed_base=2200))
+        return [g for g in corpus if g.num_vertices() <= 8]
+
+    def test_bitset_enumeration_matches_bruteforce(self):
+        from repro.api import Session
+        from repro.graphs.chordal import is_chordal
+
+        session = Session(kernel="bitset")
+        for g in self._corpus():
+            oracle_fills = {
+                fill_key(g, h) for h in minimal_triangulations_bruteforce(g)
+            }
+            emitted_fills = set()
+            with session.stream(g, "fill") as stream:
+                for result in stream:
+                    tri = result.triangulation
+                    h = tri.chordal_graph
+                    assert is_chordal(h), f"non-chordal output on {g!r}"
+                    assert is_minimal_triangulation(g, h)
+                    fill = fill_key(g, h)
+                    assert fill in oracle_fills, f"not inclusion-minimal on {g!r}"
+                    assert result.cost == len(fill), "fill cost mismatch"
+                    assert fill not in emitted_fills, "duplicate emission"
+                    emitted_fills.add(fill)
+            assert emitted_fills == oracle_fills, (
+                f"bitset kernel missed triangulations on {g!r}"
+            )
+
+    def test_bitset_width_cost_correct(self):
+        from repro.api import Session
+        from repro.graphs.chordal import treewidth_chordal
+
+        session = Session(kernel="bitset")
+        for g in self._corpus():
+            response = session.top(g, "width", k=5)
+            for result in response.results:
+                h = result.triangulation.chordal_graph
+                assert result.cost == treewidth_chordal(h)
+                assert result.triangulation.width == treewidth_chordal(h)

@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro.graphs.graph import Graph
 from repro.graphs.generators import (
@@ -14,6 +17,15 @@ from repro.graphs.generators import (
     path_graph,
     tree_graph,
 )
+
+# Hypothesis profiles: "ci" derandomizes example generation so the
+# property suite — in particular the kernel-differential tests — explores
+# the same cases on every run (the CI workflow exports
+# HYPOTHESIS_PROFILE=ci).  Per-test @settings(...) decorators still apply
+# on top; only the attributes they set are overridden.
+settings.register_profile("dev", deadline=None)
+settings.register_profile("ci", deadline=None, derandomize=True, print_blob=True)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 def fill_key(graph: Graph, triangulation: Graph) -> frozenset:

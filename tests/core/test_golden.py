@@ -1,0 +1,134 @@
+"""Golden regression corpus: pinned top-20 ranked sequences.
+
+``tests/data/golden_top20.json`` stores, for six fixed graphs under two
+cost specs, the exact (cost, bag set) sequence of the first 20 ranked
+answers.  Both graph kernels must reproduce every sequence bit-for-bit,
+forever — any change to DP tie-breaking, pivot order, heap layout or the
+kernels themselves that reorders the output stream fails here.
+
+Regenerate (only when an *intentional* ordering change is made, with the
+set-kernel reference)::
+
+    PYTHONPATH=src python -m tests.core.test_golden
+
+The writer refuses to run under pytest so the corpus cannot be clobbered
+accidentally.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api import Session
+from repro.graphs.generators import (
+    connected_erdos_renyi,
+    grid_graph,
+    paper_example_graph,
+    petersen_graph,
+)
+from repro.graphs.ordering import vertex_set_sort_key, vertex_sort_key
+
+GOLDEN_PATH = Path(__file__).resolve().parents[1] / "data" / "golden_top20.json"
+TOP_K = 20
+COST_SPECS = ("width", "fill")
+
+
+#: name -> (graph factory, label decoder for the JSON round trip).
+GRAPHS = {
+    "gnp-n10-p0.35-a": (
+        lambda: connected_erdos_renyi(10, 0.35, seed=0),
+        lambda v: v,
+    ),
+    "gnp-n10-p0.35-b": (
+        lambda: connected_erdos_renyi(10, 0.35, seed=100),
+        lambda v: v,
+    ),
+    "gnp-n12-p0.25": (
+        lambda: connected_erdos_renyi(12, 0.25, seed=200),
+        lambda v: v,
+    ),
+    "grid-4x4": (lambda: grid_graph(4, 4), tuple),
+    "pace100-petersen": (petersen_graph, lambda v: v),
+    "paper-example": (paper_example_graph, lambda v: v),
+}
+
+
+def serialize_sequence(results):
+    """Canonical JSON form of a ranked prefix: [[cost, [sorted bags]]]."""
+    out = []
+    for r in results:
+        bags = sorted(
+            (sorted(bag, key=vertex_sort_key) for bag in r.triangulation.bags),
+            key=vertex_set_sort_key,
+        )
+        out.append([r.cost, [list(b) for b in bags]])
+    return out
+
+
+def load_golden():
+    with GOLDEN_PATH.open() as fh:
+        return json.load(fh)
+
+
+def _decode(case_expected, decoder):
+    return [
+        [cost, [sorted((decoder(v) for v in bag), key=vertex_sort_key) for bag in bags]]
+        for cost, bags in case_expected
+    ]
+
+
+def _observed(name, cost, kernel):
+    factory, _decoder = GRAPHS[name]
+    response = Session(kernel=kernel).top(factory(), cost, k=TOP_K)
+    sequence = serialize_sequence(response.results)
+    # Normalize label containers the same way the decoder does (tuples
+    # survive in memory, lists in JSON).
+    return [
+        [c, [sorted(bag, key=vertex_sort_key) for bag in bags]]
+        for c, bags in sequence
+    ]
+
+
+@pytest.mark.parametrize("kernel", ["sets", "bitset"])
+@pytest.mark.parametrize("name", sorted(GRAPHS))
+def test_golden_top20(name, kernel):
+    golden = load_golden()
+    _factory, decoder = GRAPHS[name]
+    for cost in COST_SPECS:
+        expected = _decode(golden[name][cost], decoder)
+        assert _observed(name, cost, kernel) == expected, (
+            f"{name} under cost {cost!r} diverged from the golden sequence "
+            f"with kernel {kernel!r}"
+        )
+
+
+def test_golden_corpus_shape():
+    golden = load_golden()
+    assert set(golden) == set(GRAPHS)
+    for name, by_cost in golden.items():
+        assert set(by_cost) == set(COST_SPECS)
+        for cost, seq in by_cost.items():
+            assert 1 <= len(seq) <= TOP_K
+            costs = [c for c, _bags in seq]
+            assert costs == sorted(costs), f"{name}/{cost} not cost-ordered"
+
+
+def _regenerate() -> None:
+    golden = {}
+    for name in sorted(GRAPHS):
+        golden[name] = {}
+        for cost in COST_SPECS:
+            golden[name][cost] = _observed(name, cost, "sets")
+            print(f"{name:>18} {cost:>6}: {len(golden[name][cost])} answers")
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    with GOLDEN_PATH.open("w") as fh:
+        json.dump(golden, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    _regenerate()
