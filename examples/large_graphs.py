@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Large decomposable graphs: only tractable with preprocessing on.
+
+The once-per-graph initialization of the direct enumerator — minimal
+separators, PMCs, full blocks — is exponential on the full vertex set,
+which in practice caps direct runs on the chained-cycle family at a few
+dozen vertices.  The preprocessing pipeline (``repro.preprocess``)
+eliminates simplicial fringes with safe reductions, splits the remainder
+along clique minimal separators into *atoms*, enumerates each small atom
+independently, and recombines the per-atom ranked streams into one
+stream ranked over the full graph — exactly (every cost, every answer),
+not approximately.
+
+This example enumerates a 117-vertex chain of twelve 9-cycles decorated
+with pendant paths: well beyond the direct pipeline's reach (its
+initialization alone exceeds a patient coffee break), answered in
+milliseconds from 12 tiny atom contexts.
+
+Run:  python examples/large_graphs.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.api import Session
+from repro.graphs.generators import ring_of_cycles
+
+
+def build_graph():
+    """Twelve chained 9-cycles plus pendant paths: 117 vertices total."""
+    graph = ring_of_cycles(12, 9)
+    # Decorate every 10th cycle vertex with a pendant 2-path (all safely
+    # reducible — the reductions peel them before any enumeration).
+    next_label = 10_000
+    for v in list(graph.vertices)[::10]:
+        graph.add_edge(v, next_label)
+        graph.add_edge(next_label, next_label + 1)
+        next_label += 2
+    return graph
+
+
+def main() -> None:
+    graph = build_graph()
+    session = Session()  # preprocessing is on by default
+
+    plan = session.plan_for(graph)
+    print(f"graph: {graph.num_vertices()} vertices, {graph.num_edges()} edges")
+    print(f"plan:  {plan.describe()}")
+
+    started = time.perf_counter()
+    response = session.top(graph, "fill", k=5)
+    elapsed = time.perf_counter() - started
+    print(f"\ntop-5 by fill-in ({elapsed * 1000:.0f} ms end-to-end, "
+          f"preprocessed={response.stats.preprocessed}):")
+    for result in response.results:
+        tri = result.triangulation
+        print(f"  #{result.rank}: fill={int(result.cost)} "
+              f"width={tri.width} bags={len(tri.bags)}")
+
+    # The stream is pausable like the direct one: hand the opaque token
+    # to a later process and the sequence continues bit-for-bit.
+    token = response.checkpoint.to_bytes()
+    more = session.resume(token, k=3)
+    print("\nresumed ranks:", [r.rank for r in more.results])
+
+    # For comparison, this is what the direct pipeline would face:
+    print(
+        "\nwithout preprocessing the direct initialization would "
+        "enumerate separators and PMCs over all "
+        f"{graph.num_vertices()} vertices at once — try\n"
+        "  session.top(graph, 'fill', k=5, preprocess=False)\n"
+        "only if you brought lunch."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -33,7 +33,8 @@ thin deprecated wrappers over a process-wide default session
 
 from __future__ import annotations
 
-from .checkpoint import FrontierEntry, StreamCheckpoint
+from ..preprocess.recompose import ComposedCheckpoint, ComposedRankedStream
+from .checkpoint import FrontierEntry, StreamCheckpoint, load_checkpoint
 from .fingerprint import graph_fingerprint
 from .request import EnumerationRequest
 from .response import EnumerationResponse, EnumerationStats
@@ -46,9 +47,12 @@ __all__ = [
     "EnumerationResponse",
     "EnumerationStats",
     "RankedStream",
+    "ComposedRankedStream",
     "StreamCheckpoint",
+    "ComposedCheckpoint",
     "FrontierEntry",
     "graph_fingerprint",
+    "load_checkpoint",
     "default_session",
 ]
 

@@ -34,7 +34,12 @@ from ..graphs.graph import Graph, Vertex
 Separator = frozenset[Vertex]
 Bag = frozenset[Vertex]
 
-__all__ = ["FrontierEntry", "StreamCheckpoint", "CHECKPOINT_VERSION"]
+__all__ = [
+    "FrontierEntry",
+    "StreamCheckpoint",
+    "CHECKPOINT_VERSION",
+    "load_checkpoint",
+]
 
 CHECKPOINT_VERSION = 1
 
@@ -112,3 +117,42 @@ class StreamCheckpoint:
                 f"(this build reads version {CHECKPOINT_VERSION})"
             )
         return obj
+
+
+def load_checkpoint(data: bytes):
+    """Deserialize a resume token of either checkpoint kind.
+
+    Direct streams pause into a :class:`StreamCheckpoint`; preprocessed
+    (composed) streams pause into a
+    :class:`~repro.preprocess.recompose.ComposedCheckpoint`.  Callers
+    that accept both — :meth:`repro.api.Session.resume`, the CLI
+    ``--resume`` path — load through this helper, which dispatches on
+    the payload type and applies the matching version check.
+
+    Raises
+    ------
+    ValueError
+        If the payload is neither checkpoint kind or carries an
+        unsupported version.
+    """
+    from ..preprocess.recompose import (
+        COMPOSED_CHECKPOINT_VERSION,
+        ComposedCheckpoint,
+    )
+
+    obj = pickle.loads(data)
+    if isinstance(obj, StreamCheckpoint):
+        expected = CHECKPOINT_VERSION
+    elif isinstance(obj, ComposedCheckpoint):
+        expected = COMPOSED_CHECKPOINT_VERSION
+    else:
+        raise ValueError(
+            f"checkpoint payload is {type(obj).__name__}, expected "
+            "StreamCheckpoint or ComposedCheckpoint"
+        )
+    if obj.version != expected:
+        raise ValueError(
+            f"unsupported checkpoint version {obj.version} "
+            f"(this build reads version {expected})"
+        )
+    return obj

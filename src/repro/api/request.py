@@ -65,6 +65,16 @@ class EnumerationRequest:
         Expansion backend: a strategy instance, ``"serial"`` /
         ``"process-pool"``, or a worker count.  ``None`` uses the
         session default.
+    preprocess:
+        Whether to route through the preprocessing pipeline (safe
+        reductions + clique-separator atoms with exact ranked
+        recomposition, :mod:`repro.preprocess`).  ``None`` (default)
+        defers to the session; ``True`` enables it where it applies —
+        a registry-name cost with a declared composition on a graph
+        that actually decomposes — and silently falls back to the
+        direct pipeline otherwise; ``False`` forces the direct
+        pipeline.  Both routes rank over the full graph and agree on
+        every cost and every answer set.
     time_budget:
         Wall-clock seconds after which collection stops early (the
         response then carries a resumable checkpoint in ranked mode).
@@ -83,8 +93,13 @@ class EnumerationRequest:
     engine: EngineSpec = field(default=None, compare=False)
     time_budget: float | None = None
     answer_budget: int | None = None
+    preprocess: bool | None = None
 
     def __post_init__(self) -> None:
+        if self.preprocess is not None and not isinstance(self.preprocess, bool):
+            raise TypeError(
+                f"preprocess must be True, False or None, got {self.preprocess!r}"
+            )
         if self.mode not in MODES:
             raise ValueError(
                 f"unknown mode {self.mode!r}; expected one of {', '.join(MODES)}"

@@ -50,6 +50,13 @@ class EnumerationStats:
         Whether the enumeration space was fully emitted.
     timed_out:
         Whether collection stopped on the request's ``time_budget``.
+    preprocessed:
+        Whether the request was served by the preprocessing pipeline
+        (safe reductions + clique-separator atoms with ranked
+        recomposition) rather than the direct enumerator.  The answer
+        stream is equivalent either way; this records which machinery
+        produced it (``init_seconds`` then sums over the atom
+        initializations).
     """
 
     fingerprint: str
@@ -63,6 +70,7 @@ class EnumerationStats:
     engine: str
     exhausted: bool
     timed_out: bool = False
+    preprocessed: bool = False
 
 
 @dataclass(frozen=True)

@@ -41,8 +41,15 @@ from ..core.mintriang import min_triangulation_and_table
 from ..core.proper import RankedDecomposition
 from ..core.spanning import clique_trees
 from ..costs.registry import resolve_cost
+from ..engine import ExpansionStrategy
 from ..graphs.graph import Graph
-from .checkpoint import StreamCheckpoint
+from ..preprocess.recompose import (
+    ComposedCheckpoint,
+    ComposedRankedStream,
+    PreprocessPlan,
+    composition_for,
+)
+from .checkpoint import StreamCheckpoint, load_checkpoint
 from .fingerprint import graph_fingerprint
 from .request import EnumerationRequest
 from .response import EnumerationResponse, EnumerationStats
@@ -100,6 +107,17 @@ class Session:
         (label-level reference path).  Both kernels serve bit-identical
         enumeration sequences — see the README "Performance" section for
         when to prefer ``"sets"``.
+    preprocess:
+        Default for requests that do not say: ``True`` (default) routes
+        eligible requests through the preprocessing pipeline — safe
+        reductions plus clique-separator atom decomposition with exact
+        ranked recomposition (:mod:`repro.preprocess`).  It applies only
+        to registry-name costs with a declared composition (``width``,
+        ``fill``, ``sum-exp-bags``; notably *not* ``lex-width-fill``)
+        on graphs that actually decompose, and falls back to the direct
+        pipeline otherwise — both routes rank over the full graph and
+        agree on every cost and every answer set.  ``False`` disables
+        it session-wide.
     """
 
     def __init__(
@@ -107,6 +125,7 @@ class Session:
         max_contexts: int = 8,
         engine: "object | None" = None,
         kernel: str = "bitset",
+        preprocess: bool = True,
     ) -> None:
         from ..graphs.bitgraph import validate_kernel
 
@@ -115,7 +134,11 @@ class Session:
         self._max_contexts = max_contexts
         self._engine = engine
         self._kernel = validate_kernel(kernel)
+        self._preprocess = bool(preprocess)
         self._contexts: OrderedDict[tuple[str, int | None], _CacheEntry] = (
+            OrderedDict()
+        )
+        self._plans: OrderedDict[tuple[str, bool], PreprocessPlan] = (
             OrderedDict()
         )
         self._lock = threading.RLock()
@@ -215,6 +238,11 @@ class Session:
         """The graph kernel this session builds contexts with."""
         return self._kernel
 
+    @property
+    def preprocess(self) -> bool:
+        """This session's default for the per-request ``preprocess`` flag."""
+        return self._preprocess
+
     def cache_info(self) -> dict[str, int]:
         """Context-cache counters (hits/misses/builds/current size)."""
         with self._lock:
@@ -224,12 +252,42 @@ class Session:
                 "hits": self._hits,
                 "misses": self._misses,
                 "builds": self._builds,
+                "plans": len(self._plans),
             }
 
     def close(self) -> None:
-        """Drop every cached context and prepared table."""
+        """Drop every cached context, prepared table and preprocess plan."""
         with self._lock:
             self._contexts.clear()
+            self._plans.clear()
+
+    def plan_for(
+        self, graph: Graph, *, duplicate_sensitive: bool = False
+    ) -> PreprocessPlan:
+        """The (cached) preprocessing plan for ``graph``.
+
+        Exposed for inspection and benchmarking; the enumeration entry
+        points call this internally when preprocessing applies.  Plans
+        are cached per ``(fingerprint, duplicate_sensitive)`` alongside
+        the context LRU.
+        """
+        fp = graph_fingerprint(graph)
+        key = (fp, duplicate_sensitive)
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._plans.move_to_end(key)
+                return plan
+        # Build outside the lock; losing a race just wastes one build.
+        plan = PreprocessPlan.build(
+            graph, duplicate_sensitive=duplicate_sensitive
+        )
+        with self._lock:
+            self._plans[key] = plan
+            self._plans.move_to_end(key)
+            while len(self._plans) > self._max_contexts:
+                self._plans.popitem(last=False)
+        return plan
 
     def _engine_spec(self, engine: "object | None") -> "object | None":
         return engine if engine is not None else self._engine
@@ -245,16 +303,47 @@ class Session:
         width_bound: int | None = None,
         engine: "object | None" = None,
         context: TriangulationContext | None = None,
-    ) -> RankedStream:
+        preprocess: bool | None = None,
+    ) -> "RankedStream | ComposedRankedStream":
         """Open a resumable cost-ranked stream over ``graph``.
 
         ``context`` overrides the cache with a prebuilt initialization
-        (it is adopted into the cache; its own ``width_bound`` wins).
+        (it is adopted into the cache; its own ``width_bound`` wins, and
+        preprocessing is bypassed).  ``preprocess=None`` defers to the
+        session default; when preprocessing applies, the returned stream
+        is a :class:`~repro.preprocess.recompose.ComposedRankedStream`
+        with the same iteration/checkpoint surface.
         """
         stream, _meta = self._open(
-            graph, cost, width_bound=width_bound, engine=engine, context=context
+            graph, cost, width_bound=width_bound, engine=engine,
+            context=context, preprocess=preprocess,
         )
         return stream
+
+    def _preprocess_applies(
+        self,
+        graph: Graph,
+        spec: str | None,
+        engine: "object | None",
+        context: TriangulationContext | None,
+        preprocess: bool | None,
+    ) -> bool:
+        """Whether this request is eligible for the composed pipeline.
+
+        Preprocessing needs a registry-name cost with a declared
+        composition (per-atom values must combine exactly), no caller-
+        supplied prebuilt context, and no shared strategy *instance*
+        (one instance cannot serve several concurrent atom streams —
+        names and worker counts resolve per atom instead).
+        """
+        effective = self._preprocess if preprocess is None else preprocess
+        return (
+            effective
+            and context is None
+            and spec is not None
+            and composition_for(spec) is not None
+            and not isinstance(self._engine_spec(engine), ExpansionStrategy)
+        )
 
     def _open(
         self,
@@ -264,7 +353,8 @@ class Session:
         width_bound: int | None = None,
         engine: "object | None" = None,
         context: TriangulationContext | None = None,
-    ) -> tuple[RankedStream, dict]:
+        preprocess: bool | None = None,
+    ) -> "tuple[RankedStream | ComposedRankedStream, dict]":
         if isinstance(graph, str):
             from ..graphs.io import read_graph
 
@@ -275,10 +365,24 @@ class Session:
                 None, None, cost_spec=spec, fingerprint=graph_fingerprint(graph)
             )
             return stream, {"context_cached": False, "init_seconds": 0.0}
+        if self._preprocess_applies(graph, spec, engine, context, preprocess):
+            assert spec is not None
+            composition = composition_for(spec)
+            assert composition is not None
+            plan = self.plan_for(
+                graph, duplicate_sensitive=composition.duplicate_sensitive
+            )
+            if not plan.trivial:
+                return self._open_composed(
+                    plan, spec, composition,
+                    width_bound=width_bound, engine=engine,
+                )
         if context is None and not graph.is_connected():
             raise ValueError(
                 "ranked enumeration requires a connected graph; "
-                "enumerate per component instead"
+                "enumerate per component instead (or enable preprocess "
+                "with a composable cost, which splits components "
+                "automatically)"
             )
         entry, fp, cached = self._entry_for(graph, width_bound, prebuilt=context)
         cost_obj = resolve_cost(cost, entry.context.graph)
@@ -297,6 +401,50 @@ class Session:
         }
         return stream, meta
 
+    def _open_composed(
+        self,
+        plan: PreprocessPlan,
+        spec: str,
+        composition,
+        *,
+        width_bound: int | None,
+        engine: "object | None",
+    ) -> tuple[ComposedRankedStream, dict]:
+        """Start a composed stream, one cached context per variable atom."""
+        engine_spec = self._engine_spec(engine)
+        cached_flags: list[bool] = []
+        init_seconds = [0.0]
+
+        def open_piece(atom_graph: Graph):
+            entry, fp, cached = self._entry_for(atom_graph, width_bound)
+            cached_flags.append(cached)
+            init_seconds[0] += entry.context.init_seconds
+            cost_obj = resolve_cost(spec, entry.context.graph)
+            prepared = self._prepared(entry, spec, cost_obj)
+            return RankedStream.start(
+                entry.context,
+                cost_obj,
+                engine=engine_spec,
+                cost_spec=spec,
+                fingerprint=fp,
+                prepared=prepared,
+            )
+
+        stream = ComposedRankedStream.start(
+            plan,
+            resolve_cost(spec, plan.graph),
+            composition,
+            cost_spec=spec,
+            fingerprint=graph_fingerprint(plan.graph),
+            width_bound=width_bound,
+            open_piece=open_piece,
+        )
+        meta = {
+            "context_cached": bool(cached_flags) and all(cached_flags),
+            "init_seconds": init_seconds[0],
+        }
+        return stream, meta
+
     def decomposition_stream(
         self,
         graph: Graph | str,
@@ -306,6 +454,7 @@ class Session:
         width_bound: int | None = None,
         engine: "object | None" = None,
         context: TriangulationContext | None = None,
+        preprocess: bool | None = None,
     ):
         """Proper tree decompositions by increasing cost (Proposition 6.1).
 
@@ -315,7 +464,8 @@ class Session:
         closing it releases the underlying engine.
         """
         stream = self.stream(
-            graph, cost, width_bound=width_bound, engine=engine, context=context
+            graph, cost, width_bound=width_bound, engine=engine,
+            context=context, preprocess=preprocess,
         )
 
         def _closing():
@@ -382,6 +532,7 @@ class Session:
             width_bound=request.width_bound,
             engine=request.engine,
             context=context,
+            preprocess=request.preprocess,
         )
         return self._collect_ranked(
             stream, meta, limit, request.time_budget, started
@@ -422,6 +573,7 @@ class Session:
                 engine=stream.engine_name,
                 exhausted=stream.exhausted,
                 timed_out=timed_out,
+                preprocessed=isinstance(stream, ComposedRankedStream),
             )
         finally:
             stream.close()
@@ -451,6 +603,7 @@ class Session:
             width_bound=request.width_bound,
             engine=request.engine,
             context=context,
+            preprocess=request.preprocess,
         )
         kept = []
         kept_fills: list[frozenset] = []
@@ -486,6 +639,7 @@ class Session:
                 engine=stream.engine_name,
                 exhausted=stream.exhausted,
                 timed_out=timed_out,
+                preprocessed=isinstance(stream, ComposedRankedStream),
             )
         finally:
             stream.close()
@@ -509,6 +663,7 @@ class Session:
             width_bound=request.width_bound,
             engine=request.engine,
             context=context,
+            preprocess=request.preprocess,
         )
         results: list[RankedDecomposition] = []
         timed_out = False
@@ -539,6 +694,7 @@ class Session:
                 engine=stream.engine_name,
                 exhausted=stream.exhausted and not truncated and not timed_out,
                 timed_out=timed_out,
+                preprocessed=isinstance(stream, ComposedRankedStream),
             )
         finally:
             stream.close()
@@ -560,6 +716,7 @@ class Session:
         time_budget: float | None = None,
         answer_budget: int | None = None,
         context: TriangulationContext | None = None,
+        preprocess: bool | None = None,
     ) -> EnumerationResponse:
         """The ``k`` cheapest minimal triangulations, with a resume token."""
         request = EnumerationRequest(
@@ -571,6 +728,7 @@ class Session:
             engine=engine,
             time_budget=time_budget,
             answer_budget=answer_budget,
+            preprocess=preprocess,
         )
         return self.execute(request, context=context)
 
@@ -585,6 +743,7 @@ class Session:
         width_bound: int | None = None,
         engine: "object | None" = None,
         context: TriangulationContext | None = None,
+        preprocess: bool | None = None,
     ) -> EnumerationResponse:
         """Up to ``k`` low-cost, pairwise-``min_distance``-separated results."""
         request = EnumerationRequest(
@@ -596,6 +755,7 @@ class Session:
             scan_limit=scan_limit,
             width_bound=width_bound,
             engine=engine,
+            preprocess=preprocess,
         )
         return self.execute(request, context=context)
 
@@ -609,6 +769,7 @@ class Session:
         width_bound: int | None = None,
         engine: "object | None" = None,
         context: TriangulationContext | None = None,
+        preprocess: bool | None = None,
     ) -> EnumerationResponse:
         """The ``k`` cheapest proper tree decompositions."""
         request = EnumerationRequest(
@@ -619,6 +780,7 @@ class Session:
             per_triangulation=per_triangulation,
             width_bound=width_bound,
             engine=engine,
+            preprocess=preprocess,
         )
         return self.execute(request, context=context)
 
@@ -627,24 +789,92 @@ class Session:
     # ------------------------------------------------------------------
     def resume_stream(
         self,
-        checkpoint: "StreamCheckpoint | bytes",
+        checkpoint: "StreamCheckpoint | ComposedCheckpoint | bytes",
         *,
         cost: "str | object | None" = None,
         engine: "object | None" = None,
-    ) -> RankedStream:
-        """Reopen a paused stream; continues the exact emission sequence."""
+    ) -> "RankedStream | ComposedRankedStream":
+        """Reopen a paused stream; continues the exact emission sequence.
+
+        Accepts either checkpoint kind: tokens from direct streams and
+        from preprocessed (composed) streams both resume here, each with
+        its own pipeline, each continuing bit-for-bit.
+        """
         stream, _meta = self._reopen(checkpoint, cost=cost, engine=engine)
         return stream
 
-    def _reopen(
+    def _reopen_composed(
         self,
-        checkpoint: "StreamCheckpoint | bytes",
+        checkpoint: ComposedCheckpoint,
         *,
         cost: "str | object | None" = None,
         engine: "object | None" = None,
-    ) -> tuple[RankedStream, dict]:
+    ) -> tuple[ComposedRankedStream, dict]:
+        graph = checkpoint.restore_graph()
+        if graph_fingerprint(graph) != checkpoint.fingerprint:
+            raise ValueError(
+                "checkpoint fingerprint does not match its embedded graph; "
+                "the token is corrupted"
+            )
+        spec = checkpoint.cost_spec
+        if (
+            cost is not None
+            and isinstance(cost, str)
+            and cost != spec
+        ):
+            raise ValueError(
+                f"checkpoint was taken under cost {spec!r} "
+                f"but resume requested {cost!r}"
+            )
+        composition = composition_for(spec)
+        if composition is None:
+            raise ValueError(
+                f"cost {spec!r} no longer declares a composition; "
+                "cannot resume a preprocessed checkpoint"
+            )
+        engine_spec = self._engine_spec(engine)
+        cached_flags: list[bool] = []
+        init_seconds = [0.0]
+
+        def resume_piece(atom_graph: Graph, piece_checkpoint):
+            entry, _fp, cached = self._entry_for(
+                atom_graph, checkpoint.width_bound
+            )
+            cached_flags.append(cached)
+            init_seconds[0] += entry.context.init_seconds
+            cost_obj = resolve_cost(spec, entry.context.graph)
+            prepared = self._prepared(entry, spec, cost_obj)
+            return RankedStream.from_checkpoint(
+                entry.context,
+                cost_obj,
+                piece_checkpoint,
+                engine=engine_spec,
+                prepared=prepared,
+            )
+
+        stream = ComposedRankedStream.from_checkpoint(
+            checkpoint,
+            resolve_cost(spec, graph),
+            composition,
+            resume_piece=resume_piece,
+        )
+        meta = {
+            "context_cached": bool(cached_flags) and all(cached_flags),
+            "init_seconds": init_seconds[0],
+        }
+        return stream, meta
+
+    def _reopen(
+        self,
+        checkpoint: "StreamCheckpoint | ComposedCheckpoint | bytes",
+        *,
+        cost: "str | object | None" = None,
+        engine: "object | None" = None,
+    ) -> "tuple[RankedStream | ComposedRankedStream, dict]":
         if isinstance(checkpoint, (bytes, bytearray)):
-            checkpoint = StreamCheckpoint.from_bytes(bytes(checkpoint))
+            checkpoint = load_checkpoint(bytes(checkpoint))
+        if isinstance(checkpoint, ComposedCheckpoint):
+            return self._reopen_composed(checkpoint, cost=cost, engine=engine)
         if checkpoint.exhausted:
             stream = RankedStream.from_checkpoint(None, None, checkpoint)
             return stream, {"context_cached": False, "init_seconds": 0.0}
@@ -692,7 +922,7 @@ class Session:
 
     def resume(
         self,
-        checkpoint: "StreamCheckpoint | bytes",
+        checkpoint: "StreamCheckpoint | ComposedCheckpoint | bytes",
         *,
         k: int | None = None,
         cost: "str | object | None" = None,

@@ -10,6 +10,7 @@ are explicit everywhere so paper-scale runs remain possible.
 
 from __future__ import annotations
 
+import contextlib
 import time
 from collections.abc import Callable, Iterator
 from dataclasses import dataclass, field
@@ -25,6 +26,7 @@ __all__ = [
     "TimedResult",
     "TimedRun",
     "run_with_budget",
+    "timed_results",
 ]
 
 #: Classification labels of Figure 5.
@@ -129,6 +131,29 @@ class TimedRun:
     @property
     def count(self) -> int:
         return len(self.results)
+
+
+def timed_results(stream, offset: float = 0.0) -> Iterator[TimedResult]:
+    """Adapt a ranked-triangulation stream to :class:`TimedResult`s.
+
+    Works with both pipeline types — the direct
+    :class:`~repro.api.stream.RankedStream` and the preprocessed
+    :class:`~repro.preprocess.recompose.ComposedRankedStream` — since
+    both yield :class:`~repro.core.ranked.RankedResult` with a per-answer
+    delay clock.  ``offset`` shifts the clock by work done before the
+    stream started (e.g. a context built outside it), matching the
+    paper's "init included" delay accounting.  The stream is closed even
+    when the budget loop abandons it mid-iteration.
+    """
+    with contextlib.closing(stream):
+        for result in stream:
+            tri = result.triangulation
+            yield TimedResult(
+                elapsed_seconds=offset + result.elapsed_seconds,
+                width=tri.width,
+                fill=tri.fill_in(),
+                payload=tri,
+            )
 
 
 def run_with_budget(

@@ -19,6 +19,9 @@ __all__ = [
     "star_graph",
     "grid_graph",
     "tree_graph",
+    "bowtie_graph",
+    "tree_of_cliques",
+    "ring_of_cycles",
     "erdos_renyi",
     "connected_erdos_renyi",
     "gnm_random",
@@ -82,6 +85,83 @@ def tree_graph(n: int, seed: int = 0) -> Graph:
     g = Graph(vertices=range(n))
     for v in range(1, n):
         g.add_edge(v, rng.randrange(v))
+    return g
+
+
+def bowtie_graph(k: int = 4) -> Graph:
+    """Two ``k``-cliques sharing the single cut vertex ``0``.
+
+    The canonical decomposable graph: its atoms are the two cliques, so
+    the preprocessing pipeline reduces it to two constant pieces.  It is
+    chordal (one minimal triangulation: itself).
+    """
+    if k < 2:
+        raise ValueError("a bowtie needs cliques of at least 2 vertices")
+    g = Graph(vertices=range(2 * k - 1))
+    g.saturate(range(k))
+    g.saturate([0, *range(k, 2 * k - 1)])
+    return g
+
+
+def tree_of_cliques(cliques: int = 5, size: int = 4) -> Graph:
+    """A binary tree of ``cliques`` ``size``-cliques, adjacent cliques
+    sharing one vertex.
+
+    Clique ``i`` attaches to clique ``(i - 1) // 2`` by identifying its
+    first vertex with a vertex of the parent (round-robin over the
+    parent's members, so siblings attach at different cut vertices).
+    Chordal and fully decomposable: the atoms are exactly the cliques.
+    """
+    if cliques < 1:
+        raise ValueError("need at least one clique")
+    if size < 2:
+        raise ValueError("cliques need at least 2 vertices")
+    g = Graph()
+    members: list[list[int]] = []
+    next_label = 0
+    for i in range(cliques):
+        if i == 0:
+            mine = list(range(next_label, next_label + size))
+            next_label += size
+        else:
+            parent = members[(i - 1) // 2]
+            shared = parent[(i - 1) % size]
+            mine = [shared, *range(next_label, next_label + size - 1)]
+            next_label += size - 1
+        for v in mine:
+            g.add_vertex(v)
+        g.saturate(mine)
+        members.append(mine)
+    return g
+
+
+def ring_of_cycles(rings: int = 3, length: int = 5) -> Graph:
+    """``rings`` cycles of ``length`` vertices chained at cut vertices.
+
+    The non-chordal decomposable stress graph: each cycle is one atom
+    with ``Catalan(length - 2)`` minimal triangulations, the cut
+    vertices are clique minimal separators, and the full graph has the
+    product count — exponentially many answers from polynomially small
+    pieces, which is exactly the case ranked recomposition is for.
+    """
+    if rings < 1 or length < 3:
+        raise ValueError("need rings >= 1 cycles of length >= 3")
+    g = Graph()
+    next_label = 0
+    previous_last: int | None = None
+    for _r in range(rings):
+        if previous_last is None:
+            labels = list(range(next_label, next_label + length))
+            next_label += length
+        else:
+            labels = [
+                previous_last,
+                *range(next_label, next_label + length - 1),
+            ]
+            next_label += length - 1
+        for a, b in zip(labels, labels[1:] + labels[:1]):
+            g.add_edge(a, b)
+        previous_last = labels[-1]
     return g
 
 

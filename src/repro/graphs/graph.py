@@ -118,8 +118,16 @@ class Graph:
 
         This is the *saturation* operation of the paper (Section 2): replace
         ``G`` with ``G ∪ K_U``.  All vertices must already be in the graph.
+
+        Raises
+        ------
+        ValueError
+            If some member of ``vertices`` is not a vertex of the graph.
+            (Silently half-saturating around a typo'd label used to leave
+            the graph in a corrupted state.)
         """
         vs = list(vertices)
+        self._require_vertices(vs, "saturate")
         for u, v in combinations(vs, 2):
             self._adj[u].add(v)
             self._adj[v].add(u)
@@ -285,16 +293,41 @@ class Graph:
             components.append(comp)
         return components
 
+    def _require_vertices(self, vertices: Iterable[Vertex], op: str) -> None:
+        """Raise :class:`ValueError` if any of ``vertices`` is absent.
+
+        The membership scan is O(|vertices|) against the adjacency dict —
+        negligible next to the BFS/saturation the callers are about to do,
+        and it turns a silently-wrong answer (a typo'd label used to be
+        ignored) into an immediate error.
+        """
+        adj = self._adj
+        missing = [v for v in vertices if v not in adj]
+        if missing:
+            raise ValueError(
+                f"{op}: vertices not in graph: "
+                + ", ".join(sorted(map(repr, missing)))
+            )
+
     def components_without(self, removed: Iterable[Vertex]) -> list[set[Vertex]]:
         """Connected components of ``G \\ removed`` without materializing it.
 
         This is the hottest operation in the library (it is called once per
         candidate separator per crossing check), so it runs BFS directly on
         the parent adjacency structure.
+
+        Raises
+        ------
+        ValueError
+            If some member of ``removed`` is not a vertex of the graph
+            (an absent label used to be silently ignored, returning the
+            components of the wrong deletion).
         """
         removed_set = (
             removed if isinstance(removed, (set, frozenset)) else set(removed)
         )
+        if not removed_set <= self._adj.keys():
+            self._require_vertices(removed_set, "components_without")
         seen: set[Vertex] = set(removed_set)
         components: list[set[Vertex]] = []
         for start in self._adj:
@@ -308,10 +341,21 @@ class Graph:
     def component_of(
         self, start: Vertex, removed: Iterable[Vertex] = ()
     ) -> set[Vertex]:
-        """The connected component of ``G \\ removed`` containing ``start``."""
+        """The connected component of ``G \\ removed`` containing ``start``.
+
+        Raises
+        ------
+        ValueError
+            If ``start`` is in ``removed``, or if ``start`` or any member
+            of ``removed`` is not a vertex of the graph.
+        """
         removed_set = (
             removed if isinstance(removed, (set, frozenset)) else set(removed)
         )
+        if start not in self._adj:
+            raise ValueError(f"component_of: vertices not in graph: {start!r}")
+        if not removed_set <= self._adj.keys():
+            self._require_vertices(removed_set, "component_of")
         if start in removed_set:
             raise ValueError(f"start vertex {start!r} is in the removed set")
         return self._component_from(start, excluded=removed_set)

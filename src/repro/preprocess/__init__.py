@@ -1,0 +1,59 @@
+"""Preprocessing: safe reductions and clique-separator atom decomposition.
+
+The once-per-graph initialization of the ranked enumerator — minimal
+separators, PMCs, full blocks — is exponential in the worst case and is
+what caps the graph sizes the workloads reach.  Minimal triangulations
+decompose along **clique minimal separators** (Leimer 1993): the minimal
+triangulations of ``G`` are exactly the unions of minimal triangulations
+of its *atoms*, and their maximal-clique sets partition accordingly.  On
+top of that, **safe reduction rules** (isolated / pendant / simplicial
+vertex elimination) peel vertices whose bag in every minimal
+triangulation is forced, recording an invertible trace.
+
+This package implements that pipeline:
+
+* :mod:`repro.preprocess.reduce` — the reduction rules and the
+  :class:`~repro.preprocess.reduce.ReductionTrace` that lifts bag sets
+  back to the original graph;
+* :mod:`repro.preprocess.atoms` — clique-minimal-separator atom
+  decomposition (via an MCS-M minimal triangulation and clique-tree
+  contraction);
+* :mod:`repro.preprocess.recompose` — per-atom ranked streams combined
+  by a lazy Lawler-style product merge into one stream that is ranked
+  over the *full* graph, plus the per-cost composition registry that
+  decides when this is exact.
+
+The public entry point is :meth:`repro.api.Session.stream` and friends
+with ``preprocess=True`` (the default); everything here is also usable
+directly for inspection::
+
+    from repro.preprocess import PreprocessPlan
+
+    plan = PreprocessPlan.build(graph)
+    plan.describe()   # reductions applied, atoms found
+"""
+
+from .reduce import ReductionStep, ReductionTrace, reduce_graph
+from .atoms import AtomDecomposition, atom_decomposition
+from .recompose import (
+    ComposedCheckpoint,
+    ComposedRankedStream,
+    CostComposition,
+    PreprocessPlan,
+    composition_for,
+    register_composition,
+)
+
+__all__ = [
+    "ReductionStep",
+    "ReductionTrace",
+    "reduce_graph",
+    "AtomDecomposition",
+    "atom_decomposition",
+    "CostComposition",
+    "composition_for",
+    "register_composition",
+    "PreprocessPlan",
+    "ComposedRankedStream",
+    "ComposedCheckpoint",
+]

@@ -1,0 +1,192 @@
+"""Safe reduction rules: eliminate vertices whose bag is forced.
+
+A vertex ``v`` that is *simplicial* (its neighborhood is a clique) is
+untouched by every minimal triangulation: no minimal triangulation adds a
+fill edge at ``v``, its unique bag is ``N[v]``, and ``H`` is a minimal
+triangulation of ``G`` if and only if ``H − v`` is a minimal
+triangulation of ``G − v``.  Eliminating such vertices — isolated
+vertices (``deg 0``) and pendant vertices (``deg 1``) are the cheap
+special cases — shrinks the graph *without losing any solution*, and the
+recorded :class:`ReductionStep` sequence is invertible: the bags of any
+minimal triangulation of the reduced graph lift back to the bags of the
+corresponding minimal triangulation of the original graph
+(:meth:`ReductionTrace.lift_bags`).
+
+The lift for one step is exact::
+
+    bags(H) = {b in bags(H − v) : b ⊄ N[v]} ∪ {N[v]}
+
+— the only bag a step can shadow is ``N(v)`` itself (any ``b ⊆ N(v)``
+that was maximal in ``H − v`` must *equal* ``N(v)``, because ``N(v)`` is
+a clique of the reduced graph).  That shadowing is harmless for costs
+that only read the covered vertex pairs (width, fill-in), but it shifts
+the value of per-bag *sums* such as ``Σ 2^|b|``.  For those
+duplicate-sensitive costs, :func:`reduce_graph` applies a step only when
+``N(v)`` provably cannot be a bag of the reduced graph — i.e. ``N(v)``
+is not a potential maximal clique of ``G − v``, which for a clique means
+some component of ``(G − v) \\ N(v)`` sees all of ``N(v)``.  See
+``duplicate_safe`` below.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from ..graphs.graph import Graph, Vertex
+from ..graphs.ordering import vertex_sort_key
+
+Bag = frozenset[Vertex]
+
+__all__ = ["ReductionStep", "ReductionTrace", "reduce_graph"]
+
+#: Step kinds, from cheapest to most general rule.
+ISOLATED = "isolated"
+PENDANT = "pendant"
+SIMPLICIAL = "simplicial"
+
+
+@dataclass(frozen=True)
+class ReductionStep:
+    """One vertex elimination: ``vertex`` left the graph with bag ``bag``.
+
+    Attributes
+    ----------
+    kind:
+        ``"isolated"`` (degree 0), ``"pendant"`` (degree 1) or
+        ``"simplicial"`` (neighborhood is a clique); the first two are
+        special cases of the third, labelled for reporting.
+    vertex:
+        The eliminated vertex.
+    bag:
+        ``N[v]`` *at elimination time* — the bag this vertex contributes
+        to every lifted triangulation.  A clique of the original graph,
+        so it contributes no fill.
+    """
+
+    kind: str
+    vertex: Vertex
+    bag: Bag
+
+
+@dataclass(frozen=True)
+class ReductionTrace:
+    """The invertible record of a reduction run.
+
+    ``steps`` are in elimination order: ``steps[0]`` was removed from the
+    original graph, ``steps[-1]`` from the next-to-last intermediate
+    graph.  :meth:`lift_bags` plays them back in reverse.
+    """
+
+    steps: tuple[ReductionStep, ...]
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __bool__(self) -> bool:
+        return bool(self.steps)
+
+    @property
+    def eliminated(self) -> frozenset[Vertex]:
+        """All vertices removed by this trace."""
+        return frozenset(s.vertex for s in self.steps)
+
+    @property
+    def bags(self) -> tuple[Bag, ...]:
+        """The forced bags, in elimination order."""
+        return tuple(s.bag for s in self.steps)
+
+    def lift_bags(self, bags: Iterable[Bag]) -> frozenset[Bag]:
+        """Bags of the original-graph triangulation corresponding to
+        ``bags`` of the reduced-graph triangulation.
+
+        Exact inverse of the elimination sequence: un-eliminating ``v``
+        inserts ``N[v]`` and drops any bag it strictly contains (only
+        ``N(v)`` itself can be strictly contained — see module docstring).
+        """
+        lifted = set(bags)
+        for step in reversed(self.steps):
+            lifted = {b for b in lifted if not b < step.bag}
+            lifted.add(step.bag)
+        return frozenset(lifted)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        if not self.steps:
+            return "no reductions"
+        kinds: dict[str, int] = {}
+        for s in self.steps:
+            kinds[s.kind] = kinds.get(s.kind, 0) + 1
+        parts = ", ".join(f"{n} {k}" for k, n in sorted(kinds.items()))
+        return f"eliminated {len(self.steps)} vertices ({parts})"
+
+
+def _duplicate_safe(graph: Graph, v: Vertex) -> bool:
+    """Whether eliminating simplicial ``v`` can never shadow a bag.
+
+    ``N(v)`` appears as a bag of some minimal triangulation of ``G − v``
+    iff it is a potential maximal clique of ``G − v``; for a clique that
+    holds iff **no** component of ``(G − v) \\ N(v)`` is full (sees all
+    of ``N(v)``).  So a full component ⇒ ``N(v)`` is never a bag ⇒ the
+    lift never drops anything ⇒ per-bag-sum costs stay exactly additive.
+
+    Isolated vertices are always safe: their bag ``{v}`` contains no
+    other vertex, and nothing in the reduced graph can equal ``N(v) = ∅``.
+    """
+    closed = graph.closed_neighborhood(v)
+    if len(closed) == 1:  # isolated
+        return True
+    neighborhood = graph.adj(v)
+    for comp in graph.components_without(closed):
+        if graph.neighborhood_of_set(comp) == neighborhood:
+            return True
+    return False
+
+
+def reduce_graph(
+    graph: Graph, *, duplicate_sensitive: bool = False
+) -> tuple[Graph, ReductionTrace]:
+    """Exhaustively apply the safe reduction rules to a copy of ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        Any graph (connectivity is not required; reductions are local).
+    duplicate_sensitive:
+        ``True`` when the downstream cost is a per-bag sum whose value
+        changes if the lift drops a shadowed bag (e.g. ``sum-exp-bags``).
+        Restricts eliminations to :func:`_duplicate_safe` ones, keeping
+        the cost of a lifted triangulation *exactly* the sum of the
+        per-piece costs.  Width and fill-in are insensitive (a shadowed
+        bag is a clique of the original graph inside a larger bag, so it
+        carries no fill and never the maximum), and pass ``False``.
+
+    Returns
+    -------
+    ``(reduced, trace)`` — the reduced graph (a new object; the input is
+    not mutated) and the elimination trace.  Vertices are scanned in
+    canonical label order and passes repeat to a fixpoint, so the trace
+    is deterministic for a given input.
+    """
+    work = graph.copy()
+    steps: list[ReductionStep] = []
+    changed = True
+    while changed:
+        changed = False
+        for v in sorted(work.vertices, key=vertex_sort_key):
+            degree = work.degree(v)
+            if degree == 0:
+                kind = ISOLATED
+            elif degree == 1:
+                kind = PENDANT
+            elif work.is_clique(work.adj(v)):
+                kind = SIMPLICIAL
+            else:
+                continue
+            if duplicate_sensitive and not _duplicate_safe(work, v):
+                continue
+            bag = frozenset(work.closed_neighborhood(v))
+            work.remove_vertex(v)
+            steps.append(ReductionStep(kind=kind, vertex=v, bag=bag))
+            changed = True
+    return work, ReductionTrace(steps=tuple(steps))

@@ -36,11 +36,24 @@ def _saturate_masked(graph: Graph, groups: Iterable[Iterable[Vertex]]) -> Graph:
     One pass encodes the graph as adjacency bitmasks, each group becomes
     a single mask OR per member (instead of ``O(|U|^2)`` set inserts),
     and one pass decodes back to a label-level :class:`Graph`.
+
+    Raises
+    ------
+    ValueError
+        If some group member is not a vertex of ``graph`` — mirroring
+        :meth:`Graph.saturate`, so both kernels reject typo'd labels the
+        same way instead of the indexer leaking a :class:`KeyError`.
     """
     bitgraph = BitGraph.from_graph(graph)
     mask_of = bitgraph.indexer.mask_of
     for group in groups:
-        bitgraph.saturate(mask_of(group))
+        try:
+            mask = mask_of(group)
+        except KeyError as exc:
+            raise ValueError(
+                f"saturate: vertices not in graph: {exc.args[0]!r}"
+            ) from None
+        bitgraph.saturate(mask)
     return bitgraph.to_graph()
 
 

@@ -108,7 +108,7 @@ class TestResumeEquivalence:
 
 class TestSerializedTokens:
     def test_bytes_roundtrip(self):
-        session = Session()
+        session = Session(preprocess=False)
         g = paper_example_graph()
         stream = session.stream(g, "width")
         next(stream)
@@ -116,6 +116,23 @@ class TestSerializedTokens:
         stream.close()
         restored = StreamCheckpoint.from_bytes(token.to_bytes())
         assert restored == token
+
+    def test_bytes_roundtrip_composed(self):
+        """The paper graph routes through preprocessing by default; its
+        token is a ComposedCheckpoint and roundtrips the same way."""
+        from repro.api.checkpoint import load_checkpoint
+        from repro.preprocess import ComposedCheckpoint
+
+        session = Session()
+        g = paper_example_graph()
+        stream = session.stream(g, "width")
+        next(stream)
+        token = stream.checkpoint()
+        stream.close()
+        assert isinstance(token, ComposedCheckpoint)
+        restored = ComposedCheckpoint.from_bytes(token.to_bytes())
+        assert restored == token
+        assert load_checkpoint(token.to_bytes()) == token
 
     def test_resume_in_fresh_session_from_bytes(self):
         """The token embeds the graph: a cold process can resume it."""
@@ -135,6 +152,28 @@ class TestSerializedTokens:
     def test_from_bytes_rejects_foreign_payload(self):
         with pytest.raises(ValueError, match="expected StreamCheckpoint"):
             StreamCheckpoint.from_bytes(pickle.dumps({"not": "a checkpoint"}))
+
+    def test_composed_loaders_reject_foreign_payload_and_versions(self):
+        import dataclasses
+
+        from repro.api import load_checkpoint
+        from repro.preprocess import ComposedCheckpoint
+
+        blob = pickle.dumps(["neither", "kind"])
+        with pytest.raises(ValueError, match="expected"):
+            load_checkpoint(blob)
+        with pytest.raises(ValueError, match="expected ComposedCheckpoint"):
+            ComposedCheckpoint.from_bytes(blob)
+
+        session = Session()
+        stream = session.stream(paper_example_graph(), "width")
+        next(stream)
+        token = stream.checkpoint()
+        stream.close()
+        assert isinstance(token, ComposedCheckpoint)
+        future = dataclasses.replace(token, version=999)
+        with pytest.raises(ValueError, match="version"):
+            ComposedCheckpoint.from_bytes(future.to_bytes())
 
     def test_version_gate(self):
         session = Session()

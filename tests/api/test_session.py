@@ -52,7 +52,9 @@ class TestContextCache:
 
     def test_mutation_misses_the_cache(self, build_counter):
         """A mutated graph must not be served a stale context."""
-        session = Session()
+        # preprocess off: the chorded cycle decomposes into atoms, which
+        # would build one context per atom and blur the count under test.
+        session = Session(preprocess=False)
         g = cycle_graph(6)
         first = session.top(g, "fill", k=1)
         g.add_edge(1, 4)  # chord: different graph now
@@ -193,10 +195,33 @@ class TestRankedResponses:
         session = Session()
         assert list(session.stream(Graph(), "width")) == []
 
-    def test_stream_disconnected_rejected(self):
-        session = Session()
+    def test_stream_disconnected_rejected_without_preprocess(self):
+        """The direct pipeline still requires a connected graph."""
+        session = Session(preprocess=False)
         with pytest.raises(ValueError, match="connected"):
             session.stream(Graph(edges=[(1, 2), (3, 4)]), "width")
+        # A cost *object* bypasses preprocessing, so the default session
+        # rejects disconnected graphs there too.
+        with pytest.raises(ValueError, match="connected"):
+            Session().stream(Graph(edges=[(1, 2), (3, 4)]), WidthCost())
+
+    def test_stream_disconnected_served_by_preprocessing(self):
+        """Component splitting is a reduction: the default session now
+        enumerates disconnected graphs, ranked over the whole graph."""
+        session = Session()
+        results = list(session.stream(Graph(edges=[(1, 2), (3, 4)]), "width"))
+        assert len(results) == 1
+        assert results[0].cost == 1.0
+        assert results[0].triangulation.bags == frozenset(
+            [frozenset({1, 2}), frozenset({3, 4})]
+        )
+        # Two 4-cycles: 2 x 2 combinations, ranked over the union.
+        g = Graph(edges=[(0, 1), (1, 2), (2, 3), (3, 0),
+                         (4, 5), (5, 6), (6, 7), (7, 4)])
+        response = session.top(g, "fill", k=None)
+        assert [r.cost for r in response.results] == [2.0, 2.0, 2.0, 2.0]
+        assert response.stats.preprocessed
+        assert len({frozenset(r.triangulation.bags) for r in response.results}) == 4
 
     def test_width_bound_infeasible(self):
         session = Session()

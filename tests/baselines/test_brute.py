@@ -120,3 +120,94 @@ class TestBitsetKernelAgainstOracle:
                 h = result.triangulation.chordal_graph
                 assert result.cost == treewidth_chordal(h)
                 assert result.triangulation.width == treewidth_chordal(h)
+
+
+class TestAtomDecompositionAgainstOracle:
+    """Brute-force cross-check of the atom decomposition (ISSUE 4).
+
+    On every graph with ≤ 8 vertices in the corpus: decompose into
+    clique-minimal-separator atoms, brute-force every atom's minimal
+    triangulations independently, take every combination (union of
+    per-atom fill sets), and verify the resulting set equals the direct
+    brute-force minimal-triangulation set of the whole graph — Leimer's
+    product theorem, checked exhaustively.  The bag-partition corollary
+    (maximal cliques of the combination = disjoint union of the atoms'
+    maximal cliques) is what makes per-atom cost composition exact, and
+    is checked alongside.
+    """
+
+    def _corpus(self):
+        from repro.graphs.generators import (
+            bowtie_graph,
+            grid_graph,
+            ring_of_cycles,
+            tree_graph,
+        )
+
+        corpus = [
+            path_graph(5),
+            cycle_graph(6),
+            bowtie_graph(3),
+            ring_of_cycles(2, 4),
+            tree_graph(7, seed=3),
+            grid_graph(2, 4),
+            paper_example_graph(),
+        ]
+        corpus.extend(connected_random_graphs(7, 0.35, 5, seed_base=2300))
+        corpus.extend(connected_random_graphs(8, 0.45, 4, seed_base=2400))
+        return [g for g in corpus if g.num_vertices() <= 8]
+
+    def test_atom_product_equals_direct_bruteforce(self):
+        from itertools import product
+
+        from repro.graphs.chordal import maximal_cliques_chordal
+        from repro.preprocess.atoms import atom_decomposition
+
+        for g in self._corpus():
+            decomposition = atom_decomposition(g)
+            per_atom = [
+                minimal_triangulations_bruteforce(g.subgraph(atom))
+                for atom in decomposition.atoms
+            ]
+            oracle = {
+                fill_key(g, h) for h in minimal_triangulations_bruteforce(g)
+            }
+            combined = set()
+            for combo in product(*per_atom):
+                fill = frozenset()
+                bag_lists = []
+                for atom_h in combo:
+                    fill |= fill_key(g, atom_h)
+                    bag_lists.append(maximal_cliques_chordal(atom_h))
+                combined.add(fill)
+                # Bag partition: atoms contribute disjoint maximal-clique
+                # sets, none contained in a bag of another atom.
+                all_bags = [b for bags in bag_lists for b in bags]
+                assert len(all_bags) == len(set(all_bags)), g
+                for i, b1 in enumerate(all_bags):
+                    for b2 in all_bags[i + 1:]:
+                        assert not (b1 < b2 or b2 < b1), (g, b1, b2)
+            assert combined == oracle, (
+                f"atom product disagrees with brute force on {g!r}"
+            )
+
+    def test_preprocessed_pipeline_matches_bruteforce(self):
+        from repro.api import Session
+
+        session = Session()  # preprocessing on (default)
+        for g in self._corpus():
+            oracle = {
+                fill_key(g, h) for h in minimal_triangulations_bruteforce(g)
+            }
+            emitted = []
+            with session.stream(g, "fill") as stream:
+                for result in stream:
+                    h = result.triangulation.chordal_graph
+                    assert is_minimal_triangulation(g, h)
+                    fill = fill_key(g, h)
+                    assert result.cost == len(fill)
+                    emitted.append(fill)
+            assert len(emitted) == len(set(emitted)), "duplicate emission"
+            assert set(emitted) == oracle, (
+                f"preprocessed pipeline missed triangulations on {g!r}"
+            )

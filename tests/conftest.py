@@ -35,6 +35,36 @@ def fill_key(graph: Graph, triangulation: Graph) -> frozenset:
     )
 
 
+def assert_equivalent_ranked(preprocessed, direct, truncated=False):
+    """Ranked-sequence equality up to order within equal-cost tie runs.
+
+    The canonical checker of the preprocessing differential harness
+    (shared by ``tests/property/test_preprocess_equivalence.py`` and
+    ``benchmarks/bench_preprocess.py``): pointwise-equal costs, and the
+    same *set* of triangulations inside every maximal equal-cost run —
+    each pipeline's order within a run is its own deterministic
+    tie-break, pinned per-pipeline by the golden corpus.
+
+    ``truncated=True`` marks sequences cut off at an answer cap: the
+    final tie run may then be only partially enumerated on each side
+    (legitimately different subsets), so its set comparison is skipped —
+    costs are still compared pointwise all the way.
+    """
+    assert len(preprocessed) == len(direct)
+    assert [c for c, _ in preprocessed] == [c for c, _ in direct]
+    i = 0
+    while i < len(direct):
+        j = i
+        while j < len(direct) and direct[j][0] == direct[i][0]:
+            j += 1
+        if truncated and j == len(direct):
+            break
+        assert {bags for _, bags in preprocessed[i:j]} == {
+            bags for _, bags in direct[i:j]
+        }, f"tie run at cost {direct[i][0]} (ranks {i}..{j - 1}) differs"
+        i = j
+
+
 def connected_random_graphs(n: int, p: float, count: int, seed_base: int = 0):
     """Up to ``count`` connected G(n, p) samples (deterministic seeds)."""
     out = []

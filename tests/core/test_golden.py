@@ -1,10 +1,16 @@
 """Golden regression corpus: pinned top-20 ranked sequences.
 
-``tests/data/golden_top20.json`` stores, for six fixed graphs under two
-cost specs, the exact (cost, bag set) sequence of the first 20 ranked
-answers.  Both graph kernels must reproduce every sequence bit-for-bit,
-forever — any change to DP tie-breaking, pivot order, heap layout or the
-kernels themselves that reorders the output stream fails here.
+``tests/data/golden_top20.json`` stores, for nine fixed graphs under two
+cost specs and both pipelines (direct enumeration and the preprocessing
+pipeline of ``repro.preprocess``), the exact (cost, bag set) sequence of
+the first 20 ranked answers.  Both graph kernels must reproduce every
+sequence bit-for-bit, forever — any change to DP tie-breaking, pivot
+order, heap layout, the kernels, the reduction rules, the atom
+decomposition or the recomposition merge that reorders an output stream
+fails here.  (The two pipelines agree on costs and answer sets but may
+order equal-cost ties differently; each pipeline's order is pinned
+separately — ``tests/property/test_preprocess_equivalence.py`` holds the
+cross-pipeline equivalence.)
 
 Regenerate (only when an *intentional* ordering change is made, with the
 set-kernel reference)::
@@ -24,16 +30,22 @@ import pytest
 
 from repro.api import Session
 from repro.graphs.generators import (
+    bowtie_graph,
     connected_erdos_renyi,
     grid_graph,
     paper_example_graph,
     petersen_graph,
+    ring_of_cycles,
+    tree_of_cliques,
 )
 from repro.graphs.ordering import vertex_set_sort_key, vertex_sort_key
 
 GOLDEN_PATH = Path(__file__).resolve().parents[1] / "data" / "golden_top20.json"
 TOP_K = 20
 COST_SPECS = ("width", "fill")
+#: Pipelines: "direct" is the core Lawler-Murty enumerator, "preprocess"
+#: routes through reductions + atoms + ranked recomposition.
+MODES = ("direct", "preprocess")
 
 
 #: name -> (graph factory, label decoder for the JSON round trip).
@@ -53,6 +65,11 @@ GRAPHS = {
     "grid-4x4": (lambda: grid_graph(4, 4), tuple),
     "pace100-petersen": (petersen_graph, lambda v: v),
     "paper-example": (paper_example_graph, lambda v: v),
+    # Decomposable additions (ISSUE 4): the degenerate chordal cases
+    # (constant-only recomposition) and a two-variable-atom product.
+    "bowtie-k4": (lambda: bowtie_graph(4), lambda v: v),
+    "tree-of-cliques": (lambda: tree_of_cliques(5, 4), lambda v: v),
+    "ring-of-c5": (lambda: ring_of_cycles(2, 5), lambda v: v),
 }
 
 
@@ -80,9 +97,10 @@ def _decode(case_expected, decoder):
     ]
 
 
-def _observed(name, cost, kernel):
+def _observed(name, cost, kernel, mode):
     factory, _decoder = GRAPHS[name]
-    response = Session(kernel=kernel).top(factory(), cost, k=TOP_K)
+    session = Session(kernel=kernel, preprocess=(mode == "preprocess"))
+    response = session.top(factory(), cost, k=TOP_K)
     sequence = serialize_sequence(response.results)
     # Normalize label containers the same way the decoder does (tuples
     # survive in memory, lists in JSON).
@@ -92,16 +110,17 @@ def _observed(name, cost, kernel):
     ]
 
 
+@pytest.mark.parametrize("mode", MODES)
 @pytest.mark.parametrize("kernel", ["sets", "bitset"])
 @pytest.mark.parametrize("name", sorted(GRAPHS))
-def test_golden_top20(name, kernel):
+def test_golden_top20(name, kernel, mode):
     golden = load_golden()
     _factory, decoder = GRAPHS[name]
     for cost in COST_SPECS:
-        expected = _decode(golden[name][cost], decoder)
-        assert _observed(name, cost, kernel) == expected, (
+        expected = _decode(golden[name][cost][mode], decoder)
+        assert _observed(name, cost, kernel, mode) == expected, (
             f"{name} under cost {cost!r} diverged from the golden sequence "
-            f"with kernel {kernel!r}"
+            f"with kernel {kernel!r} and pipeline {mode!r}"
         )
 
 
@@ -110,10 +129,19 @@ def test_golden_corpus_shape():
     assert set(golden) == set(GRAPHS)
     for name, by_cost in golden.items():
         assert set(by_cost) == set(COST_SPECS)
-        for cost, seq in by_cost.items():
-            assert 1 <= len(seq) <= TOP_K
-            costs = [c for c, _bags in seq]
-            assert costs == sorted(costs), f"{name}/{cost} not cost-ordered"
+        for cost, by_mode in by_cost.items():
+            assert set(by_mode) == set(MODES)
+            for mode, seq in by_mode.items():
+                assert 1 <= len(seq) <= TOP_K
+                costs = [c for c, _bags in seq]
+                assert costs == sorted(costs), (
+                    f"{name}/{cost}/{mode} not cost-ordered"
+                )
+            # The pipelines must agree on the cost sequence even though
+            # tie order within a cost level may differ.
+            assert [c for c, _b in by_mode["direct"]] == [
+                c for c, _b in by_mode["preprocess"]
+            ], f"{name}/{cost}: pipelines disagree on costs"
 
 
 def _regenerate() -> None:
@@ -121,8 +149,11 @@ def _regenerate() -> None:
     for name in sorted(GRAPHS):
         golden[name] = {}
         for cost in COST_SPECS:
-            golden[name][cost] = _observed(name, cost, "sets")
-            print(f"{name:>18} {cost:>6}: {len(golden[name][cost])} answers")
+            golden[name][cost] = {}
+            for mode in MODES:
+                seq = _observed(name, cost, "sets", mode)
+                golden[name][cost][mode] = seq
+                print(f"{name:>18} {cost:>6} {mode:>10}: {len(seq)} answers")
     GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
     with GOLDEN_PATH.open("w") as fh:
         json.dump(golden, fh, indent=1, sort_keys=True)

@@ -170,3 +170,45 @@ class TestInterop:
         assert h.vertex_set() == {0, 1, 2}
         assert h.num_edges() == 2
         assert h.has_edge(mapping["a"], mapping["b"])
+
+
+class TestAbsentVertexValidation:
+    """Regression tests (ISSUE 4 bugfix): absent vertices must raise.
+
+    ``components_without`` used to silently ignore labels not in the
+    graph — a typo'd separator returned the components of the *wrong*
+    deletion — and ``saturate`` either half-mutated the graph before a
+    ``KeyError`` or silently no-opped.  Both now fail fast.
+    """
+
+    def test_components_without_rejects_absent(self):
+        g = Graph(edges=[(1, 2), (2, 3), (3, 4)])
+        with pytest.raises(ValueError, match="not in graph"):
+            g.components_without({2, 99})
+        with pytest.raises(ValueError, match="not in graph"):
+            g.components_without(["typo"])
+
+    def test_components_without_still_correct_on_valid_input(self):
+        g = Graph(edges=[(1, 2), (2, 3), (3, 4)])
+        assert sorted(map(sorted, g.components_without({2}))) == [[1], [3, 4]]
+
+    def test_component_of_rejects_absent(self):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        with pytest.raises(ValueError, match="not in graph"):
+            g.component_of(1, removed={99})
+        with pytest.raises(ValueError, match="not in graph"):
+            g.component_of(99)
+        with pytest.raises(ValueError, match="removed set"):
+            g.component_of(1, removed={1})
+
+    def test_saturate_rejects_absent_without_mutating(self):
+        g = Graph(edges=[(1, 2), (3, 4)])
+        before = g.copy()
+        with pytest.raises(ValueError, match="not in graph"):
+            g.saturate([1, 3, 99])
+        assert g == before  # validated up front: no partial saturation
+
+    def test_saturate_valid_input_unchanged_behavior(self):
+        g = Graph(edges=[(1, 2), (3, 4)])
+        g.saturate([1, 2, 3])
+        assert g.has_edge(1, 3) and g.has_edge(2, 3)

@@ -1,0 +1,136 @@
+"""Unit tests for the clique-minimal-separator atom decomposition."""
+
+from __future__ import annotations
+
+from repro.graphs.generators import (
+    bowtie_graph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    paper_example_graph,
+    path_graph,
+    petersen_graph,
+    ring_of_cycles,
+    tree_graph,
+    tree_of_cliques,
+)
+from repro.graphs.graph import Graph
+from repro.preprocess.atoms import atom_decomposition
+from tests.conftest import connected_random_graphs
+
+
+def atoms_of(graph):
+    return set(atom_decomposition(graph).atoms)
+
+
+class TestKnownDecompositions:
+    def test_path_atoms_are_edges(self):
+        assert atoms_of(path_graph(4)) == {
+            frozenset({0, 1}), frozenset({1, 2}), frozenset({2, 3})
+        }
+
+    def test_cycle_is_one_atom(self):
+        assert atoms_of(cycle_graph(6)) == {frozenset(range(6))}
+
+    def test_complete_graph_is_one_atom(self):
+        assert atoms_of(complete_graph(5)) == {frozenset(range(5))}
+
+    def test_petersen_and_grid_are_atoms(self):
+        assert len(atom_decomposition(petersen_graph())) == 1
+        assert len(atom_decomposition(grid_graph(3, 3))) == 1
+
+    def test_bowtie_splits_into_its_cliques(self):
+        assert atoms_of(bowtie_graph(4)) == {
+            frozenset({0, 1, 2, 3}), frozenset({0, 4, 5, 6})
+        }
+
+    def test_tree_of_cliques_splits_into_its_cliques(self):
+        decomposition = atom_decomposition(tree_of_cliques(5, 4))
+        assert len(decomposition) == 5
+        assert all(len(a) == 4 for a in decomposition.atoms)
+        graph = decomposition.graph
+        assert all(graph.is_clique(a) for a in decomposition.atoms)
+
+    def test_ring_of_cycles_splits_into_cycles(self):
+        decomposition = atom_decomposition(ring_of_cycles(3, 5))
+        assert len(decomposition) == 3
+        assert all(len(a) == 5 for a in decomposition.atoms)
+
+    def test_tree_atoms_are_edges(self):
+        g = tree_graph(10, seed=5)
+        assert atoms_of(g) == {frozenset(e) for e in g.edges()}
+
+    def test_paper_example(self):
+        # v' hangs off v through the clique minimal separator {v}.
+        decomposition = atom_decomposition(paper_example_graph())
+        assert sorted(len(a) for a in decomposition.atoms) == [2, 5]
+        assert frozenset({"v"}) in decomposition.separators
+
+
+class TestStructuralInvariants:
+    def corpus(self):
+        out = [
+            path_graph(5),
+            cycle_graph(5),
+            bowtie_graph(3),
+            ring_of_cycles(2, 4),
+            paper_example_graph(),
+        ]
+        out += connected_random_graphs(8, 0.3, 5, seed_base=900)
+        out += connected_random_graphs(9, 0.4, 5, seed_base=950)
+        return out
+
+    def test_atoms_cover_and_overlap_on_cliques(self):
+        for g in self.corpus():
+            decomposition = atom_decomposition(g)
+            union = set()
+            for a in decomposition.atoms:
+                union |= a
+            assert union == set(g.vertices)
+            atoms = decomposition.atoms
+            for i, a in enumerate(atoms):
+                for b in atoms[i + 1:]:
+                    assert g.is_clique(a & b), (a, b)
+
+    def test_every_edge_lives_in_an_atom(self):
+        for g in self.corpus():
+            decomposition = atom_decomposition(g)
+            for u, v in g.edges():
+                assert any(
+                    u in a and v in a for a in decomposition.atoms
+                ), (u, v)
+
+    def test_separators_are_cliques(self):
+        for g in self.corpus():
+            decomposition = atom_decomposition(g)
+            for s in decomposition.separators:
+                assert g.is_clique(s)
+                assert len(g.components_without(s)) >= 2
+
+    def test_decomposition_is_deterministic(self):
+        for g in self.corpus():
+            a = atom_decomposition(g)
+            b = atom_decomposition(g)
+            assert a.atoms == b.atoms
+            assert a.separators == b.separators
+
+    def test_disconnected_components_split(self):
+        g = Graph(edges=[(0, 1), (1, 2), (3, 4)])
+        g.add_vertex(5)
+        decomposition = atom_decomposition(g)
+        assert set(decomposition.atoms) == {
+            frozenset({0, 1}),
+            frozenset({1, 2}),
+            frozenset({3, 4}),
+            frozenset({5}),
+        }
+        # Empty adhesions between components are not separators.
+        assert frozenset() not in set(decomposition.separators)
+
+    def test_empty_graph(self):
+        decomposition = atom_decomposition(Graph())
+        assert decomposition.atoms == ()
+        assert decomposition.is_trivial
+
+    def test_describe(self):
+        assert "atoms" in atom_decomposition(path_graph(3)).describe()

@@ -1,0 +1,138 @@
+"""Unit tests for the safe reduction rules and the invertible trace."""
+
+from __future__ import annotations
+
+from repro.costs.classic import FillInCost, SumExpBagCost, WidthCost
+from repro.core.mintriang import min_triangulation
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+    tree_graph,
+)
+from repro.graphs.graph import Graph
+from repro.preprocess.reduce import reduce_graph
+
+
+class TestRules:
+    def test_path_reduces_completely(self):
+        reduced, trace = reduce_graph(path_graph(5))
+        assert reduced.num_vertices() == 0
+        assert trace.eliminated == frozenset(range(5))
+        assert {s.kind for s in trace.steps} <= {"isolated", "pendant"}
+
+    def test_tree_reduces_completely(self):
+        reduced, trace = reduce_graph(tree_graph(12, seed=4))
+        assert reduced.num_vertices() == 0
+        assert len(trace) == 12
+
+    def test_cycle_is_irreducible(self):
+        reduced, trace = reduce_graph(cycle_graph(5))
+        assert not trace
+        assert reduced.num_vertices() == 5
+
+    def test_complete_graph_peels_simplicially(self):
+        reduced, trace = reduce_graph(complete_graph(4))
+        assert reduced.num_vertices() == 0
+        assert trace.steps[0].kind == "simplicial"
+        assert trace.steps[0].bag == frozenset(range(4))
+
+    def test_simplicial_fringe_on_cycle(self):
+        # C5 with a pendant triangle: vertex 5 adjacent to the edge (0, 1).
+        g = cycle_graph(5)
+        g.add_edge(5, 0)
+        g.add_edge(5, 1)
+        reduced, trace = reduce_graph(g)
+        assert trace.eliminated == frozenset({5})
+        assert trace.steps[0].kind == "simplicial"
+        assert trace.steps[0].bag == frozenset({5, 0, 1})
+        assert reduced.vertex_set() == frozenset(range(5))
+
+    def test_input_graph_is_not_mutated(self):
+        g = path_graph(4)
+        before = g.copy()
+        reduce_graph(g)
+        assert g == before
+
+    def test_deterministic(self):
+        g = tree_graph(10, seed=7)
+        _r1, t1 = reduce_graph(g)
+        _r2, t2 = reduce_graph(g)
+        assert t1 == t2
+
+    def test_describe(self):
+        _reduced, trace = reduce_graph(path_graph(3))
+        assert "eliminated" in trace.describe()
+        assert reduce_graph(cycle_graph(4))[1].describe() == "no reductions"
+
+
+class TestLift:
+    def lifted_bags(self, graph):
+        reduced, trace = reduce_graph(graph)
+        assert reduced.num_vertices() == 0  # fully reduced inputs only
+        return trace.lift_bags(())
+
+    def test_lift_matches_direct_min_triangulation(self):
+        for g in (path_graph(5), star_graph(4), tree_graph(9, seed=1)):
+            direct = min_triangulation(g, WidthCost())
+            assert self.lifted_bags(g) == direct.bags
+
+    def test_lift_drops_shadowed_bags(self):
+        # Single edge: eliminating 0 (pendant) leaves {1}; un-eliminating
+        # inserts {0,1} which shadows the singleton bag {1}.
+        reduced, trace = reduce_graph(path_graph(2))
+        assert reduced.num_vertices() == 0
+        assert trace.lift_bags(()) == frozenset([frozenset({0, 1})])
+
+    def test_lift_on_partial_reduction(self):
+        g = cycle_graph(4)
+        g.add_edge(4, 0)  # pendant on the cycle
+        reduced, trace = reduce_graph(g)
+        assert trace.eliminated == frozenset({4})
+        # Triangulate the remaining C4 and lift: must equal the direct
+        # triangulation's bag set on the full graph.
+        inner = min_triangulation(reduced, FillInCost())
+        lifted = trace.lift_bags(inner.bags)
+        direct = min_triangulation(g, FillInCost())
+        assert lifted == direct.bags
+
+
+class TestDuplicateSensitiveMode:
+    def test_triangle_not_reduced(self):
+        # Eliminating a triangle vertex would shadow the bag {a, b} of
+        # the leftover edge; duplicate-sensitive mode must refuse.
+        reduced, trace = reduce_graph(
+            complete_graph(3), duplicate_sensitive=True
+        )
+        assert not trace
+        assert reduced.num_vertices() == 3
+
+    def test_safe_simplicial_still_reduced(self):
+        # Pendant triangle on C5: after removing vertex 5 the cycle keeps
+        # a full component seeing {0, 1}, so {0, 1} is never a bag and
+        # the elimination is allowed even in duplicate-sensitive mode.
+        g = cycle_graph(5)
+        g.add_edge(5, 0)
+        g.add_edge(5, 1)
+        _reduced, trace = reduce_graph(g, duplicate_sensitive=True)
+        assert trace.eliminated == frozenset({5})
+
+    def test_isolated_always_safe(self):
+        g = Graph(vertices=[0, 1], edges=[])
+        _reduced, trace = reduce_graph(g, duplicate_sensitive=True)
+        assert trace.eliminated == frozenset({0, 1})
+
+    def test_sum_exp_exactness_on_allowed_reductions(self):
+        # Whatever duplicate-sensitive mode eliminates must keep the cost
+        # exactly additive: lifted cost == reduced cost + bag terms.
+        cost = SumExpBagCost(2.0)
+        g = cycle_graph(5)
+        g.add_edge(5, 0)
+        g.add_edge(5, 1)
+        reduced, trace = reduce_graph(g, duplicate_sensitive=True)
+        inner = min_triangulation(reduced, cost)
+        lifted = trace.lift_bags(inner.bags)
+        assert cost.evaluate(g, lifted) == inner.cost + sum(
+            2.0 ** len(b) for b in trace.bags
+        )

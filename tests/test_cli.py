@@ -122,3 +122,48 @@ class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestPreprocessFlag:
+    @pytest.fixture
+    def decomposable_file(self, tmp_path):
+        from repro.graphs.generators import ring_of_cycles
+
+        path = tmp_path / "ring.gr"
+        write_graph(ring_of_cycles(2, 5), path)
+        return str(path)
+
+    def test_no_preprocess_same_costs(self, decomposable_file, capsys):
+        assert main(["enumerate", decomposable_file, "--cost", "fill",
+                     "--top", "25"]) == 0
+        on = capsys.readouterr().out
+        assert main(["enumerate", decomposable_file, "--cost", "fill",
+                     "--top", "25", "--no-preprocess"]) == 0
+        off = capsys.readouterr().out
+
+        def costs(text):
+            return [line.split("cost=")[1].split()[0]
+                    for line in text.splitlines() if line.startswith("#")]
+
+        assert costs(on) == costs(off)
+        assert len(costs(on)) == 25
+
+    def test_composed_checkpoint_resume_roundtrip(
+        self, decomposable_file, tmp_path, capsys
+    ):
+        token = str(tmp_path / "ring.ckpt")
+        assert main(["enumerate", decomposable_file, "--cost", "fill",
+                     "--top", "25"]) == 0
+        uninterrupted = [
+            line for line in capsys.readouterr().out.splitlines()
+            if line.startswith("#")
+        ]
+        assert main(["enumerate", decomposable_file, "--cost", "fill",
+                     "--top", "8", "--checkpoint", token]) == 0
+        head = [line for line in capsys.readouterr().out.splitlines()
+                if line.startswith("#")]
+        assert main(["enumerate", decomposable_file, "--resume", token,
+                     "--top", "17"]) == 0
+        tail = [line for line in capsys.readouterr().out.splitlines()
+                if line.startswith("#")]
+        assert head + tail == uninterrupted

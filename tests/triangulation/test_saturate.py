@@ -1,6 +1,9 @@
 """Tests for the Parra–Scheffler saturation bridge."""
 
+import pytest
+
 from repro.graphs.generators import cycle_graph, erdos_renyi, paper_example_graph
+from repro.graphs.graph import Graph
 from repro.separators.berry import minimal_separators
 from repro.separators.crossing import SeparatorFamily
 from repro.triangulation.minimality import is_minimal_triangulation
@@ -84,3 +87,19 @@ class TestSaturateBags:
         g = cycle_graph(5)
         saturate_bags(g, [{0, 1, 2}])
         assert g.num_edges() == 5
+
+
+class TestAbsentVertexValidation:
+    """Both saturation kernels reject groups naming absent vertices."""
+
+    def test_bitset_kernel_raises_value_error(self):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        with pytest.raises(ValueError, match="not in graph"):
+            saturate_separators(g, [frozenset({2, 99})], kernel="bitset")
+        with pytest.raises(ValueError, match="not in graph"):
+            saturate_bags(g, [frozenset({1, "typo"})], kernel="bitset")
+
+    def test_sets_kernel_raises_value_error(self):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        with pytest.raises(ValueError, match="not in graph"):
+            saturate_separators(g, [frozenset({2, 99})], kernel="sets")
