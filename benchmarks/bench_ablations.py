@@ -32,8 +32,12 @@ def _sample_constraints(ctx, k=3):
     return include, exclude
 
 
-def test_constrained_dp_with_table_reuse(benchmark):
-    graph = erdos_renyi(18, 0.22, seed=3)
+def _dp_graph(smoke: bool):
+    return erdos_renyi(12, 0.3, seed=3) if smoke else erdos_renyi(18, 0.22, seed=3)
+
+
+def test_constrained_dp_with_table_reuse(benchmark, smoke):
+    graph = _dp_graph(smoke)
     ctx = TriangulationContext.build(graph)
     cost = FillInCost()
     _, base_table = min_triangulation_and_table(ctx, cost)
@@ -50,8 +54,8 @@ def test_constrained_dp_with_table_reuse(benchmark):
     )
 
 
-def test_constrained_dp_without_table_reuse(benchmark):
-    graph = erdos_renyi(18, 0.22, seed=3)
+def test_constrained_dp_without_table_reuse(benchmark, smoke):
+    graph = _dp_graph(smoke)
     ctx = TriangulationContext.build(graph)
     cost = FillInCost()
     include, exclude = _sample_constraints(ctx)
@@ -60,36 +64,40 @@ def test_constrained_dp_without_table_reuse(benchmark):
     benchmark(lambda: min_triangulation_and_table(ctx, constrained))
 
 
-def test_bounded_context_vs_full(benchmark):
+def test_bounded_context_vs_full(benchmark, smoke):
     """MinTriangB's restriction shrinks the DP when the bound is tight."""
-    _, graph = pace100_instances()[4]  # grid4x4, treewidth 4
+    if smoke:
+        graph, bound = erdos_renyi(10, 0.4, seed=3), 4
+    else:
+        (_, graph), bound = pace100_instances()[4], 4  # grid4x4, treewidth 4
 
     def run():
         full = TriangulationContext.build(graph)
-        bounded = TriangulationContext.build(graph, width_bound=4)
+        bounded = TriangulationContext.build(graph, width_bound=bound)
         return len(full.pmcs), len(bounded.pmcs)
 
     full_pmcs, bounded_pmcs = benchmark.pedantic(run, rounds=1, iterations=1)
     assert bounded_pmcs <= full_pmcs
 
 
-def test_ranked_ten_results(benchmark):
+def test_ranked_ten_results(benchmark, smoke):
     """End-to-end: ten ranked results on a mid-size random graph."""
-    graph = erdos_renyi(18, 0.22, seed=3)
+    graph = _dp_graph(smoke)
     ctx = TriangulationContext.build(graph)
+    k = 5 if smoke else 10
 
     def run():
         stream = ranked_triangulations(graph, WidthCost(), context=ctx)
-        return len(list(itertools.islice(stream, 10)))
+        return len(list(itertools.islice(stream, k)))
 
-    assert benchmark.pedantic(run, rounds=1, iterations=1) == 10
+    assert benchmark.pedantic(run, rounds=1, iterations=1) == k
 
 
-def test_lb_triang_kernel(benchmark):
-    graph = erdos_renyi(40, 0.15, seed=9)
+def test_lb_triang_kernel(benchmark, smoke):
+    graph = erdos_renyi(15 if smoke else 40, 0.15, seed=9)
     benchmark(lambda: lb_triang(graph))
 
 
-def test_mcs_m_kernel(benchmark):
-    graph = erdos_renyi(40, 0.15, seed=9)
+def test_mcs_m_kernel(benchmark, smoke):
+    graph = erdos_renyi(15 if smoke else 40, 0.15, seed=9)
     benchmark(lambda: mcs_m(graph))

@@ -59,13 +59,12 @@ def _serve(get_session, graph, cost, k: int, requests: int):
     return (time.perf_counter() - started) / requests, signature
 
 
-def test_api_overhead_report(benchmark):
-    requests = int(os.environ.get("REPRO_BENCH_API_REQUESTS", "20"))
-    k = int(os.environ.get("REPRO_BENCH_API_K", "5"))
-    instances = [
-        _connected_gnp(12, 0.4, seed_base=42),
-        grids_instances()[0],  # grid-4x4: the smallest PGM workload
-    ]
+def test_api_overhead_report(benchmark, smoke):
+    requests = 3 if smoke else int(os.environ.get("REPRO_BENCH_API_REQUESTS", "20"))
+    k = 3 if smoke else int(os.environ.get("REPRO_BENCH_API_K", "5"))
+    instances = [_connected_gnp(12, 0.4, seed_base=42)]
+    if not smoke:
+        instances.append(grids_instances()[0])  # grid-4x4: smallest PGM
 
     def run():
         rows = []
@@ -112,6 +111,8 @@ def test_api_overhead_report(benchmark):
     print("\n" + text)
     save_report("api_overhead", rows, text)
 
+    if smoke:
+        return  # smoke mode: no timing assertions
     by_mode = {}
     for r in rows:
         by_mode.setdefault(r["mode"], []).append(r["ms_per_request"])

@@ -16,7 +16,7 @@ from repro.pmc.enumerate import potential_maximal_cliques
 from repro.workloads.registry import dataset
 
 
-def test_figure5_report(benchmark, ms_budget, pmc_budget):
+def test_figure5_report(benchmark, ms_budget, pmc_budget, smoke):
     """Regenerate the Figure 5 table (all 14 datasets)."""
 
     def run():
@@ -30,6 +30,9 @@ def test_figure5_report(benchmark, ms_budget, pmc_budget):
     print("\n" + text)
     save_report("figure5", summary, text)
     save_report("figure5_probes", probes, format_table(probes))
+    assert summary, "figure5 produced no rows"
+    if smoke:
+        return  # smoke budgets change the termination shape; no assertions
     # Shape assertions from the paper: easy and impossible anchors.
     by_name = {row["dataset"]: row for row in summary}
     assert by_name["TPC-H"]["not_terminated"] == 0

@@ -17,8 +17,10 @@ from repro.graphs.generators import erdos_renyi
 from repro.separators.berry import minimal_separators
 
 
-def test_figure7_report(benchmark, budget):
+def test_figure7_report(benchmark, budget, smoke):
     def run():
+        if smoke:
+            return figure7(sizes=(10, 12), draws=1, budget=budget)
         return figure7(sizes=(12, 16, 20), draws=2, budget=max(budget / 2, 0.5))
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -38,6 +40,9 @@ def test_figure7_report(benchmark, budget):
     print("\n".join(charts))
     save_report("figure7", rows, text + "\n" + "\n".join(charts))
 
+    assert rows, "figure7 produced no rows"
+    if smoke:
+        return  # single tiny draws need not reproduce the hump shape
     # Hump shape per n: the mid-range (0.15..0.45) max exceeds both the
     # sparse tail (p <= 2/n) and the dense tail (p >= 0.9) maxima.
     for n, group in by_n.items():
@@ -59,13 +64,13 @@ def test_figure7_report(benchmark, budget):
         assert timed_out_mid or mid >= dense, f"n={n}"
 
 
-def test_minsep_kernel_midrange(benchmark):
+def test_minsep_kernel_midrange(benchmark, smoke):
     """Microbenchmark: the hard regime p = 0.25 at n = 16."""
-    g = erdos_renyi(16, 0.25, seed=7)
+    g = erdos_renyi(12 if smoke else 16, 0.25, seed=7)
     benchmark(lambda: minimal_separators(g))
 
 
-def test_minsep_kernel_dense(benchmark):
+def test_minsep_kernel_dense(benchmark, smoke):
     """Microbenchmark: the easy dense regime p = 0.8 at n = 16."""
-    g = erdos_renyi(16, 0.8, seed=7)
+    g = erdos_renyi(12 if smoke else 16, 0.8, seed=7)
     benchmark(lambda: minimal_separators(g))

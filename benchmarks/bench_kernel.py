@@ -44,7 +44,12 @@ from repro.separators.berry import minimal_separators
 KERNELS = ("sets", "bitset")
 
 
-def _instances():
+def _instances(smoke: bool = False):
+    if smoke:
+        return [
+            ("gnp-n10-p0.5", connected_erdos_renyi(10, 0.5, seed=40)),
+            ("grid-3x3", grid_graph(3, 3)),
+        ]
     return [
         ("gnp-n14-p0.5", connected_erdos_renyi(14, 0.5, seed=40)),
         ("grid-5x5", grid_graph(5, 5)),
@@ -82,11 +87,11 @@ def _ranked_run(graph, kernel: str, k: int):
     return elapsed, [(r.cost, frozenset(r.triangulation.bags)) for r in results]
 
 
-def test_kernel_speedup_report(benchmark):
-    k = int(os.environ.get("REPRO_BENCH_KERNEL_K", "10"))
+def test_kernel_speedup_report(benchmark, smoke):
+    k = 3 if smoke else int(os.environ.get("REPRO_BENCH_KERNEL_K", "10"))
     min_speedup = float(os.environ.get("REPRO_BENCH_MIN_KERNEL_SPEEDUP", "1.5"))
-    repeats = int(os.environ.get("REPRO_BENCH_KERNEL_REPEATS", "3"))
-    instances = _instances()
+    repeats = 1 if smoke else int(os.environ.get("REPRO_BENCH_KERNEL_REPEATS", "3"))
+    instances = _instances(smoke)
 
     def run():
         rows = []
@@ -140,6 +145,8 @@ def test_kernel_speedup_report(benchmark):
         r["graph"]: r for r in rows if r["kernel"] == "bitset"
     }
     assert set(by_graph) == {name for name, _g in instances}
+    if smoke:
+        return  # smoke mode: execution is the test, timing is noise
     for name in ("gnp-n14-p0.5", "grid-5x5"):
         assert by_graph[name]["init_speedup"] >= min_speedup, (
             f"{name}: bitset init speedup {by_graph[name]['init_speedup']}x "

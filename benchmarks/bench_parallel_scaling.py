@@ -57,14 +57,15 @@ def _delay_run(graph, context, k: int, workers: int):
     return delay, sequence
 
 
-def test_parallel_scaling_report(benchmark):
-    k = int(os.environ.get("REPRO_BENCH_SCALING_K", "15"))
+def test_parallel_scaling_report(benchmark, smoke):
+    k = 4 if smoke else int(os.environ.get("REPRO_BENCH_SCALING_K", "15"))
     kernel = os.environ.get("REPRO_BENCH_KERNEL", "bitset")
     instances = [
         ("gnp-n12-p0.4", connected_erdos_renyi(12, 0.4, seed=42)),
-        grids_instances()[0],  # grid-4x4: the smallest PGM workload
     ]
-    sweep = _worker_sweep()
+    if not smoke:
+        instances.append(grids_instances()[0])  # grid-4x4: smallest PGM
+    sweep = [1, 2] if smoke else _worker_sweep()
 
     raw_delays: list[float] = []
 

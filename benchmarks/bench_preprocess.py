@@ -57,8 +57,14 @@ def _decorated_grid(rows: int, cols: int) -> Graph:
     return g
 
 
-def _instances():
+def _instances(smoke: bool = False):
     """(name, graph, expect_direct_to_finish) triples."""
+    if smoke:
+        return [
+            ("bowtie-k4", bowtie_graph(4), True),
+            ("ring-of-c5-x2", ring_of_cycles(2, 5), True),
+            ("tree-of-cliques-5x4", tree_of_cliques(5, 4), True),
+        ]
     return [
         ("bowtie-k8", bowtie_graph(8), True),
         ("tree-of-cliques-15x5", tree_of_cliques(15, 5), True),
@@ -107,17 +113,23 @@ def _best_of(repeats, graph, preprocess, k, budget):
     return best, sequence, finished
 
 
-def test_preprocess_speedup_report(benchmark):
-    k = int(os.environ.get("REPRO_BENCH_PREPROCESS_K", "10"))
-    budget = float(os.environ.get("REPRO_BENCH_PREPROCESS_BUDGET", "15"))
-    repeats = int(os.environ.get("REPRO_BENCH_PREPROCESS_REPEATS", "2"))
+def test_preprocess_speedup_report(benchmark, smoke):
+    k = 3 if smoke else int(os.environ.get("REPRO_BENCH_PREPROCESS_K", "10"))
+    budget = (
+        3.0
+        if smoke
+        else float(os.environ.get("REPRO_BENCH_PREPROCESS_BUDGET", "15"))
+    )
+    repeats = (
+        1 if smoke else int(os.environ.get("REPRO_BENCH_PREPROCESS_REPEATS", "2"))
+    )
     min_speedup = float(
         os.environ.get("REPRO_BENCH_MIN_PREPROCESS_SPEEDUP", "1.5")
     )
 
     rows = []
     speedups = []
-    for name, graph, expect_direct in _instances():
+    for name, graph, expect_direct in _instances(smoke):
         session = Session()
         plan = session.plan_for(graph)
         pre_seconds, pre_seq, _ = _best_of(repeats, graph, True, k, budget)
@@ -161,11 +173,12 @@ def test_preprocess_speedup_report(benchmark):
     print(text)
     save_report("preprocess", rows, text)
 
-    fast_enough = [n for n, s in speedups if s >= min_speedup]
-    assert len(fast_enough) >= 2, (
-        f"expected >= 2 decomposable instances at >= {min_speedup}x, "
-        f"got {speedups}"
-    )
+    if not smoke:  # smoke mode: no timing assertions
+        fast_enough = [n for n, s in speedups if s >= min_speedup]
+        assert len(fast_enough) >= 2, (
+            f"expected >= 2 decomposable instances at >= {min_speedup}x, "
+            f"got {speedups}"
+        )
 
     # Give pytest-benchmark a stable micro-measurement so the run is
     # recorded alongside the other drivers.

@@ -1,0 +1,204 @@
+"""Service throughput study: answers/sec and first-answer latency.
+
+Measures the concurrent enumeration service end to end — real TCP
+sockets, the NDJSON protocol, the fair-share scheduler, a shared
+session — under 1, 4, and 16 concurrent clients.  Each client submits a
+batch of ``top(k)`` jobs over a pool of small mixed graphs; per level
+the driver reports
+
+* ``answers_per_sec`` — total answer frames delivered / wall-clock;
+* ``p50_first_ms`` / ``p99_first_ms`` — percentiles of the time from
+  sending a request frame to receiving that job's *first* answer frame
+  (the serving-latency face of the paper's delay guarantee: answers
+  stream incrementally, so the first one lands long before the job
+  finishes);
+* ``p50_total_ms`` — median whole-job completion time.
+
+Every delivered page is asserted bit-identical to the serial
+``Session.stream`` serialization of the same request — the benchmark is
+also a load-level differential test.
+
+Rows land in ``results/service_throughput.json`` / ``.txt``.  Knobs:
+``REPRO_BENCH_SERVICE_CLIENTS`` (comma-separated levels, default
+``1,4,16``), ``REPRO_BENCH_SERVICE_REQUESTS`` (jobs per client, default
+6), ``REPRO_BENCH_SERVICE_K`` (answers per job, default 8), and
+``REPRO_BENCH_SERVICE_WORKERS`` (scheduler slots, default 4).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+
+from repro.api import Session
+from repro.bench.reporting import format_table, save_report
+from repro.graphs.generators import connected_erdos_renyi, grid_graph
+from repro.service import ServerThread, ServiceClient, serialize_answers
+
+
+def _graph_pool(smoke: bool):
+    if smoke:
+        return [
+            ("gnp-n9", connected_erdos_renyi(9, 0.4, seed=3)),
+            ("grid-3x3", grid_graph(3, 3)),
+        ]
+    return [
+        ("gnp-n10-a", connected_erdos_renyi(10, 0.35, seed=0)),
+        ("gnp-n10-b", connected_erdos_renyi(10, 0.35, seed=2)),
+        ("gnp-n12", connected_erdos_renyi(12, 0.3, seed=6)),
+        ("grid-3x3", grid_graph(3, 3)),
+    ]
+
+
+def _reference_lines(pool, k):
+    """Serial reference bytes per (graph, cost) workload."""
+    session = Session()
+    reference = {}
+    for (name, graph), cost in itertools.product(pool, ("fill", "width")):
+        stream = session.stream(graph, cost)
+        try:
+            results = list(itertools.islice(stream, k))
+        finally:
+            stream.close()
+        reference[(name, cost)] = serialize_answers(results)
+    return reference
+
+
+def _client_worker(address, jobs, k, record, errors):
+    try:
+        client = ServiceClient(*address, timeout=120.0)
+        for name, graph, cost in jobs:
+            sent = time.perf_counter()
+            first = None
+            lines = []
+            from repro.service.protocol import AnswerFrame, ServiceRequest
+
+            with client.open(
+                ServiceRequest(op="top", graph=graph, cost=cost, k=k)
+            ) as stream:
+                for frame in stream:
+                    if isinstance(frame, AnswerFrame):
+                        if first is None:
+                            first = time.perf_counter() - sent
+                        lines.append(frame.raw)
+            total = time.perf_counter() - sent
+            record.append(
+                {
+                    "workload": (name, cost),
+                    "first": first,
+                    "total": total,
+                    "answers": len(lines),
+                    "lines": lines,
+                }
+            )
+    except BaseException as exc:
+        errors.append(exc)
+
+
+def _percentile(values, q):
+    if not values:
+        return float("nan")
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def test_service_throughput_report(benchmark, smoke):
+    levels = (
+        [1, 2]
+        if smoke
+        else [
+            int(tok)
+            for tok in os.environ.get(
+                "REPRO_BENCH_SERVICE_CLIENTS", "1,4,16"
+            ).split(",")
+            if tok.strip()
+        ]
+    )
+    requests = (
+        2 if smoke else int(os.environ.get("REPRO_BENCH_SERVICE_REQUESTS", "6"))
+    )
+    k = 3 if smoke else int(os.environ.get("REPRO_BENCH_SERVICE_K", "8"))
+    workers = int(os.environ.get("REPRO_BENCH_SERVICE_WORKERS", "4"))
+    pool = _graph_pool(smoke)
+    reference = _reference_lines(pool, k)
+
+    def run():
+        rows = []
+        with ServerThread(max_workers=workers, slice_answers=4) as handle:
+            for level in levels:
+                # Deterministic round-robin job mix per client.
+                per_client = []
+                workload = itertools.cycle(
+                    [
+                        (name, graph, cost)
+                        for (name, graph) in pool
+                        for cost in ("fill", "width")
+                    ]
+                )
+                for _ in range(level):
+                    per_client.append(
+                        [next(workload) for _ in range(requests)]
+                    )
+                records: list[dict] = []
+                errors: list[BaseException] = []
+                threads = [
+                    threading.Thread(
+                        target=_client_worker,
+                        args=(handle.address, jobs, k, records, errors),
+                    )
+                    for jobs in per_client
+                ]
+                started = time.perf_counter()
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join(timeout=300)
+                    assert not t.is_alive(), (
+                        f"client thread wedged past 300s at {level} clients"
+                    )
+                wall = time.perf_counter() - started
+                assert not errors, errors
+                # Load-level differential check: every page is exact.
+                for entry in records:
+                    assert entry["lines"] == reference[entry["workload"]], (
+                        f"{entry['workload']} diverged at {level} clients"
+                    )
+                firsts = [e["first"] for e in records if e["first"] is not None]
+                totals = [e["total"] for e in records]
+                answers = sum(e["answers"] for e in records)
+                rows.append(
+                    {
+                        "clients": level,
+                        "jobs": len(records),
+                        "answers": answers,
+                        "answers_per_sec": round(answers / wall, 1),
+                        "p50_first_ms": round(
+                            _percentile(firsts, 0.50) * 1e3, 2
+                        ),
+                        "p99_first_ms": round(
+                            _percentile(firsts, 0.99) * 1e3, 2
+                        ),
+                        "p50_total_ms": round(
+                            _percentile(totals, 0.50) * 1e3, 2
+                        ),
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_table(
+        rows,
+        title=(
+            f"Service throughput (top-{k}, {requests} jobs/client, "
+            f"{workers} scheduler workers)"
+        ),
+    )
+    print("\n" + text)
+    save_report("service_throughput", rows, text)
+
+    assert {r["clients"] for r in rows} == set(levels)
+    assert all(r["jobs"] == r["clients"] * requests for r in rows)
+    assert all(r["answers"] > 0 for r in rows)

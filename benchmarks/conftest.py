@@ -9,6 +9,15 @@ Scale knobs (env vars):
 * ``REPRO_BENCH_BUDGET`` — per-graph seconds for enumeration runs (default 2).
 * ``REPRO_BENCH_MS_BUDGET`` / ``REPRO_BENCH_PMC_BUDGET`` — Figure 5 gates
   (defaults 0.5 / 2.5 seconds; the paper used 60 s / 30 min).
+
+Smoke mode (``pytest benchmarks --smoke``): every driver switches to
+tiny instances, ``k <= 5`` answer counts and sub-second budgets, and
+drops its timing/shape assertions — the run then verifies only that the
+measurement code still executes end to end.  CI runs exactly this
+(the ``bench-smoke`` job), so benchmark bit-rot fails the build instead
+of being discovered at re-measure time.  Reports are still produced,
+but under smoke they are **not** written to ``results/`` (a smoke run
+must never clobber a real measurement).
 """
 
 from __future__ import annotations
@@ -16,6 +25,42 @@ from __future__ import annotations
 import os
 
 import pytest
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="run every benchmark at smoke scale: tiny instances, k <= 5, "
+        "no timing assertions, no results/ writes (the CI bit-rot guard)",
+    )
+
+
+@pytest.fixture(scope="session")
+def smoke(request: pytest.FixtureRequest) -> bool:
+    """Whether this run is a smoke run (``--smoke``)."""
+    return bool(request.config.getoption("--smoke"))
+
+
+@pytest.fixture(autouse=True)
+def _no_reports_in_smoke(
+    smoke: bool, monkeypatch: pytest.MonkeyPatch, tmp_path
+):
+    """Under ``--smoke``, divert report files away from ``results/``.
+
+    ``save_report`` resolves its output directory through
+    ``reporting.results_dir`` at call time, so patching that one
+    function reroutes every driver (they all import ``save_report``
+    from :mod:`repro.bench.reporting`).
+    """
+    if smoke:
+        from repro.bench import reporting
+
+        monkeypatch.setattr(
+            reporting, "results_dir", lambda base=None: tmp_path
+        )
+    yield
 
 
 def _env_float(name: str, default: float) -> float:
@@ -26,18 +71,24 @@ def _env_float(name: str, default: float) -> float:
 
 
 @pytest.fixture(scope="session")
-def budget() -> float:
+def budget(smoke: bool) -> float:
     """Per-graph enumeration budget in seconds."""
+    if smoke:
+        return 0.3
     return _env_float("REPRO_BENCH_BUDGET", 2.0)
 
 
 @pytest.fixture(scope="session")
-def ms_budget() -> float:
+def ms_budget(smoke: bool) -> float:
     """Minimal-separator budget (Figure 5 gate)."""
+    if smoke:
+        return 0.05
     return _env_float("REPRO_BENCH_MS_BUDGET", 0.5)
 
 
 @pytest.fixture(scope="session")
-def pmc_budget() -> float:
+def pmc_budget(smoke: bool) -> float:
     """PMC budget (Figure 5 gate)."""
+    if smoke:
+        return 0.1
     return _env_float("REPRO_BENCH_PMC_BUDGET", 2.5)

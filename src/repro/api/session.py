@@ -58,6 +58,40 @@ from .stream import RankedStream
 __all__ = ["Session"]
 
 
+def _diverse_selection(
+    stream,
+    k: int,
+    min_distance: int,
+    scan_limit: int | None = None,
+    should_stop=None,
+):
+    """Greedy quality/diversity selection over a ranked stream.
+
+    Scans (at most ``scan_limit``, default ``25 * k``) results in ranked
+    order and yields the triangulations that are >= ``min_distance``
+    fill edges away from every previously kept one, stopping after
+    ``k`` keeps.  The one selection rule — including the scan-window
+    default — behind :meth:`Session.diverse` and the service
+    scheduler's sliceable diverse jobs; both surfaces stay identical by
+    construction.  ``should_stop`` (if given) is polled once per scanned
+    result so callers can impose time budgets.
+    """
+    if scan_limit is None:
+        scan_limit = 25 * k
+    kept_fills: list[frozenset] = []
+    for result in islice(stream, scan_limit):
+        fill = _fill_set(result.triangulation)
+        if all(
+            len(fill ^ other) >= min_distance for other in kept_fills
+        ):
+            kept_fills.append(fill)
+            yield result.triangulation
+            if len(kept_fills) >= k:
+                return
+        if should_stop is not None and should_stop():
+            return
+
+
 def _expand_decompositions(stream, per_triangulation: int | None):
     """Proposition 6.1: expand a ranked triangulation stream into its
     clique trees, preserving cost order (the one shared implementation
@@ -224,13 +258,22 @@ class Session:
     def _prepared(
         self, entry: _CacheEntry, spec: str | None, cost: object
     ) -> tuple | None:
-        """Cached ``(first, unconstrained table)`` for a registry cost."""
+        """Cached ``(first, unconstrained table)`` for a registry cost.
+
+        Lock-protected for concurrent callers (the service scheduler
+        opens streams from several executor threads at once): the slow
+        DP runs outside the lock, and when two threads race on the same
+        spec the first insert wins, so every stream sees one canonical
+        table.
+        """
         if spec is None:
             return None
-        pair = entry.prepared.get(spec)
+        with self._lock:
+            pair = entry.prepared.get(spec)
         if pair is None:
-            pair = min_triangulation_and_table(entry.context, cost)
-            entry.prepared[spec] = pair
+            computed = min_triangulation_and_table(entry.context, cost)
+            with self._lock:
+                pair = entry.prepared.setdefault(spec, computed)
         return pair
 
     @property
@@ -594,9 +637,6 @@ class Session:
         if limit == 0:
             return self._empty_response(request, graph, started)
         assert limit is not None
-        scan_limit = (
-            request.scan_limit if request.scan_limit is not None else 25 * limit
-        )
         stream, meta = self._open(
             graph,
             request.cost,
@@ -606,27 +646,27 @@ class Session:
             preprocess=request.preprocess,
         )
         kept = []
-        kept_fills: list[frozenset] = []
         timed_out = False
-        scanned = 0
+
+        def over_budget() -> bool:
+            nonlocal timed_out
+            if (
+                request.time_budget is not None
+                and time.perf_counter() - started > request.time_budget
+            ):
+                timed_out = True
+            return timed_out
+
         try:
-            for result in islice(stream, scan_limit):
-                scanned += 1
-                fill = _fill_set(result.triangulation)
-                if all(
-                    len(fill ^ other) >= request.min_distance
-                    for other in kept_fills
-                ):
-                    kept.append(result.triangulation)
-                    kept_fills.append(fill)
-                    if len(kept) >= limit:
-                        break
-                if (
-                    request.time_budget is not None
-                    and time.perf_counter() - started > request.time_budget
-                ):
-                    timed_out = True
-                    break
+            kept = list(
+                _diverse_selection(
+                    stream,
+                    limit,
+                    request.min_distance,
+                    request.scan_limit,
+                    should_stop=over_budget,
+                )
+            )
             stats = EnumerationStats(
                 fingerprint=stream.fingerprint,
                 mode="diverse",

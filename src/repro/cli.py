@@ -5,6 +5,8 @@ Usage examples::
     python -m repro stats graph.gr
     python -m repro treewidth graph.gr
     python -m repro enumerate graph.gr --cost fill --top 5 --diverse 2
+    python -m repro serve --port 8737
+    python -m repro submit graph.gr --cost fill --top 5 --port 8737
     python -m repro datasets
     python -m repro experiments figure5 table2
 
@@ -141,6 +143,88 @@ def build_parser() -> argparse.ArgumentParser:
         help="additionally require properness (clique tree of a minimal triangulation)",
     )
 
+    p_serve = sub.add_parser(
+        "serve", help="run the concurrent enumeration service (asyncio TCP)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=8737,
+        help="bind port (0 picks a free port; the bound address is printed)",
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=2,
+        metavar="N",
+        help="concurrent stream slices (executor threads); admitted jobs "
+        "beyond N interleave fairly in slices",
+    )
+    p_serve.add_argument(
+        "--slice-answers",
+        type=_positive_int,
+        default=4,
+        metavar="M",
+        help="answers a job streams per slice before yielding its worker "
+        "slot (smaller = fairer + faster cancellation)",
+    )
+    p_serve.add_argument(
+        "--token-secret",
+        metavar="PATH",
+        default=None,
+        help="file whose bytes sign the resume tokens; share it across "
+        "server instances (or restarts) to make tokens portable — by "
+        "default each server uses a random per-process key, so tokens "
+        "only resume against the instance that minted them",
+    )
+
+    p_sub = sub.add_parser(
+        "submit", help="submit one job to a running enumeration service"
+    )
+    p_sub.add_argument(
+        "graph", nargs="?", default=None,
+        help="path to a .gr or .col file (omit with --resume)",
+    )
+    p_sub.add_argument("--host", default="127.0.0.1")
+    p_sub.add_argument("--port", type=int, default=8737)
+    p_sub.add_argument(
+        "--mode",
+        default="top",
+        choices=("enumerate", "top", "diverse", "decompositions"),
+        help="job kind (enumerate = stream until exhausted or capped)",
+    )
+    p_sub.add_argument(
+        "--cost", default="width", choices=available_costs(), help="objective"
+    )
+    p_sub.add_argument("--top", type=int, default=10, help="answers to request")
+    p_sub.add_argument("--width-bound", type=int, default=None)
+    p_sub.add_argument(
+        "--min-distance", type=_positive_int, default=1,
+        help="diverse mode: minimum pairwise fill distance",
+    )
+    p_sub.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="S",
+        help="seconds before the server pauses the stream into a resume "
+        "token (delivered in the terminal frame)",
+    )
+    p_sub.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="write the terminal frame's resume token to PATH",
+    )
+    p_sub.add_argument(
+        "--resume",
+        metavar="PATH",
+        default=None,
+        help="resume from a token written by --checkpoint (new connection, "
+        "same exact sequence)",
+    )
+
     sub.add_parser("datasets", help="list the built-in dataset families")
 
     p_exp = sub.add_parser("experiments", help="run experiment drivers")
@@ -243,6 +327,126 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import serve
+
+    token_key = None
+    if args.token_secret is not None:
+        with open(args.token_secret, "rb") as fh:
+            token_key = fh.read()
+        if not token_key:
+            print(
+                f"error: token secret {args.token_secret} is empty",
+                file=sys.stderr,
+            )
+            return 2
+    serve(
+        host=args.host,
+        port=args.port,
+        max_workers=args.workers,
+        slice_answers=args.slice_answers,
+        token_key=token_key,
+    )
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .service import ServiceClient, ServiceError, ServiceRequest
+    from .service.protocol import DeadlineFrame, StatsFrame
+
+    if (args.graph is None) == (args.resume is None):
+        print(
+            "error: submit needs a graph file or --resume PATH (not both)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.resume is not None:
+        # The token fixes the job: reject flags it would silently override.
+        conflicts = [
+            flag
+            for flag, clashes in (
+                ("--mode", args.mode not in ("top", "enumerate")),
+                ("--cost", args.cost != "width"),
+                ("--width-bound", args.width_bound is not None),
+                ("--min-distance", args.min_distance != 1),
+            )
+            if clashes
+        ]
+        if conflicts:
+            print(
+                f"error: {', '.join(conflicts)} cannot be combined with "
+                "--resume (cost, bound and mode come from the token)",
+                file=sys.stderr,
+            )
+            return 2
+        with open(args.resume, "rb") as fh:
+            token = fh.read()
+        request = ServiceRequest(
+            op="enumerate", token=token, k=args.top, deadline=args.deadline
+        )
+    else:
+        request = ServiceRequest(
+            op=args.mode,
+            graph=read_graph(args.graph),
+            cost=args.cost,
+            k=args.top,
+            width_bound=args.width_bound,
+            min_distance=args.min_distance,
+            deadline=args.deadline,
+        )
+    from .service import ProtocolError
+
+    client = ServiceClient(args.host, args.port)
+    try:
+        result = client.collect(request)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except ProtocolError as exc:
+        # e.g. the server was stopped mid-stream: report, don't traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(
+            f"error: cannot reach service at {args.host}:{args.port} ({exc}); "
+            "is `repro serve` running?",
+            file=sys.stderr,
+        )
+        return 1
+    for answer in result.answers:
+        bags = [list(map(str, bag)) for bag in answer.bags]
+        print(
+            f"#{answer.rank}: cost={answer.cost} width={answer.width} bags={bags}"
+        )
+    terminal = result.terminal
+    if isinstance(terminal, StatsFrame):
+        state = "exhausted" if terminal.exhausted else "more available"
+        print(
+            f"stats: {terminal.emitted} answers, {terminal.expansions} "
+            f"expansions, {terminal.elapsed_seconds:.3f}s ({state})"
+        )
+    elif isinstance(terminal, DeadlineFrame):
+        print(f"deadline: paused after {terminal.emitted} answers")
+    else:
+        print(f"cancelled after {terminal.emitted} answers")
+    if args.checkpoint is not None:
+        if result.checkpoint is not None:
+            with open(args.checkpoint, "wb") as fh:
+                fh.write(result.checkpoint)
+            print(f"resume token written to {args.checkpoint}")
+        elif result.exhausted:
+            # A fully drained enumeration is success, not an error.
+            print("enumeration exhausted; no resume token to write")
+        else:
+            print(
+                f"error: mode {args.mode!r} produced no resume token "
+                "(only enumerate/top jobs are pausable)",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
 def _cmd_decompose(args: argparse.Namespace) -> int:
     from .core.decomposition import TreeDecomposition
     from .core.mintriang import min_triangulation
@@ -337,6 +541,8 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "treewidth": _cmd_treewidth,
     "enumerate": _cmd_enumerate,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
     "decompose": _cmd_decompose,
     "validate": _cmd_validate,
     "datasets": _cmd_datasets,

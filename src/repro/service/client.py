@@ -1,0 +1,254 @@
+"""A typed blocking client for the enumeration service.
+
+:class:`ServiceClient` speaks the NDJSON protocol of
+:mod:`repro.service.protocol` over a plain TCP socket — no asyncio on
+the client side, so tests, benchmarks, and synchronous applications can
+drive a server with ordinary calls::
+
+    client = ServiceClient(host, port)
+    result = client.top(graph, "fill", k=10)        # ServiceResult
+    for answer in result.answers:                   # AnswerFrame, typed
+        print(answer.rank, answer.cost)
+    more = client.resume(result.checkpoint, k=10)   # ranks 10..19
+
+Streaming and mid-stream control are available through :meth:`open`,
+which returns a :class:`ServiceStream` — iterate it for typed frames as
+they arrive, :meth:`ServiceStream.cancel` for an in-band cooperative
+cancel, or :meth:`ServiceStream.abort` to drop the connection outright
+(the server treats that exactly like a crashed client).  Every frame
+keeps the raw line it was parsed from (``frame.raw``), which is what
+the differential suite compares byte-for-byte against serial
+``Session.stream`` output.
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+from ..graphs.graph import Graph
+from .protocol import (
+    AnswerFrame,
+    CancelledFrame,
+    DeadlineFrame,
+    ErrorFrame,
+    ProtocolError,
+    ServiceRequest,
+    StatsFrame,
+    decode_frame,
+    encode_frame,
+    typed_frame,
+)
+
+__all__ = ["ServiceClient", "ServiceStream", "ServiceResult", "ServiceError"]
+
+TerminalFrame = Union[StatsFrame, DeadlineFrame, CancelledFrame, ErrorFrame]
+
+
+class ServiceError(RuntimeError):
+    """An in-band ``error`` frame, raised client-side.
+
+    The original frame is available as :attr:`frame`.
+    """
+
+    def __init__(self, frame: ErrorFrame) -> None:
+        super().__init__(f"{frame.code}: {frame.message}")
+        self.frame = frame
+
+
+@dataclass(frozen=True)
+class ServiceResult:
+    """One fully-collected response: answers plus the terminal frame."""
+
+    answers: tuple[AnswerFrame, ...]
+    terminal: TerminalFrame
+
+    @property
+    def checkpoint(self) -> bytes | None:
+        """The resume token, when the terminal frame carries one."""
+        return getattr(self.terminal, "checkpoint", None)
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the server reported the enumeration space drained."""
+        return isinstance(self.terminal, StatsFrame) and self.terminal.exhausted
+
+    @property
+    def answer_lines(self) -> tuple[bytes, ...]:
+        """The raw ``answer`` frame bytes, in arrival order."""
+        return tuple(a.raw for a in self.answers)
+
+
+class ServiceStream:
+    """One open job: a socket plus an iterator of typed frames."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._file = sock.makefile("rb")
+        self.terminal: TerminalFrame | None = None
+
+    def __iter__(self) -> Iterator:
+        return self
+
+    def __next__(self):
+        if self.terminal is not None:
+            raise StopIteration
+        line = self._file.readline()
+        if not line:
+            self.close()
+            raise ProtocolError("server closed the connection mid-stream")
+        frame = typed_frame(decode_frame(line), raw=line)
+        if not isinstance(frame, AnswerFrame):
+            self.terminal = frame
+            self.close()
+        return frame
+
+    def cancel(self) -> None:
+        """Send the in-band cancel frame; keep reading for the terminal."""
+        try:
+            self._sock.sendall(encode_frame({"type": "cancel"}))
+        except OSError:
+            pass  # stream already wound down server-side
+
+    def abort(self) -> None:
+        """Drop the connection without a cancel frame (simulated crash)."""
+        self.close()
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceStream":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
+
+
+class ServiceClient:
+    """Blocking entry points over one server address (one socket per job)."""
+
+    def __init__(
+        self, host: str, port: int, *, timeout: float | None = 30.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+    def open(self, request: ServiceRequest) -> ServiceStream:
+        """Send one request; returns the live frame stream."""
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        try:
+            sock.sendall(encode_frame(request.to_frame()))
+        except OSError:
+            sock.close()
+            raise
+        return ServiceStream(sock)
+
+    def send_raw(self, line: bytes) -> ServiceStream:
+        """Send raw bytes as the opening frame (malformed-input testing)."""
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        try:
+            sock.sendall(line)
+        except OSError:
+            sock.close()
+            raise
+        return ServiceStream(sock)
+
+    def collect(self, request: ServiceRequest) -> ServiceResult:
+        """Run one job to its terminal frame; raise on in-band errors."""
+        answers: list[AnswerFrame] = []
+        with self.open(request) as stream:
+            for frame in stream:
+                if isinstance(frame, AnswerFrame):
+                    answers.append(frame)
+        terminal = stream.terminal
+        assert terminal is not None
+        if isinstance(terminal, ErrorFrame):
+            raise ServiceError(terminal)
+        return ServiceResult(answers=tuple(answers), terminal=terminal)
+
+    # -- typed entry points --------------------------------------------
+    def enumerate(
+        self,
+        graph: Graph,
+        cost: str = "width",
+        *,
+        k: int | None = None,
+        **options: object,
+    ) -> ServiceResult:
+        """Stream the ranked sequence (all of it unless capped)."""
+        return self.collect(
+            ServiceRequest(op="enumerate", graph=graph, cost=cost, k=k, **options)
+        )
+
+    def top(
+        self,
+        graph: Graph,
+        cost: str = "width",
+        k: int = 10,
+        **options: object,
+    ) -> ServiceResult:
+        """The ``k`` cheapest answers, with a resume token attached."""
+        return self.collect(
+            ServiceRequest(op="top", graph=graph, cost=cost, k=k, **options)
+        )
+
+    def diverse(
+        self,
+        graph: Graph,
+        cost: str = "width",
+        k: int = 10,
+        *,
+        min_distance: int = 1,
+        **options: object,
+    ) -> ServiceResult:
+        """Greedy quality/diversity selection over the ranked prefix."""
+        return self.collect(
+            ServiceRequest(
+                op="diverse",
+                graph=graph,
+                cost=cost,
+                k=k,
+                min_distance=min_distance,
+                **options,
+            )
+        )
+
+    def decompositions(
+        self,
+        graph: Graph,
+        cost: str = "width",
+        k: int | None = 10,
+        **options: object,
+    ) -> ServiceResult:
+        """Proper tree decompositions by increasing cost."""
+        return self.collect(
+            ServiceRequest(
+                op="decompositions", graph=graph, cost=cost, k=k, **options
+            )
+        )
+
+    def resume(
+        self, token: bytes, *, k: int | None = None, **options: object
+    ) -> ServiceResult:
+        """Continue a paused stream from its checkpoint token.
+
+        The concatenation of the emitting job's answers and this call's
+        answers is bit-identical to one uninterrupted run.
+        """
+        return self.collect(
+            ServiceRequest(op="enumerate", token=token, k=k, **options)
+        )

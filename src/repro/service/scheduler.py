@@ -1,0 +1,568 @@
+"""Fair-share scheduling of enumeration jobs over a shared session pool.
+
+The scheduler is the concurrency heart of the service: it admits typed
+jobs (:class:`~repro.service.protocol.ServiceRequest` — ``enumerate``,
+``top``, ``diverse``, ``decompositions``), opens each one as a ranked
+stream over a shared per-kernel :class:`~repro.api.Session`, and runs
+the streams in **slices** on a bounded thread pool.  One slice pulls at
+most ``slice_answers`` results before giving the worker slot back, so a
+job over an expensive graph interleaves with — rather than starves —
+every cheap job admitted alongside it.  Fairness falls out of the slot
+semaphore's FIFO wakeups: after each slice a job goes to the back of
+the line.
+
+Per-job controls, all cooperative (checked between answers, never by
+killing a thread):
+
+* ``deadline``      — wall-clock seconds from admission; on expiry the
+  job ends with a ``deadline`` frame carrying a resume token;
+* ``answer_budget`` / ``k`` — caps on streamed answers; the terminal
+  ``stats`` frame carries the token for the remainder;
+* :meth:`EnumerationScheduler.cancel` — sets the job's cancel event;
+  the running slice notices at the next answer boundary, emits a
+  ``cancelled`` frame (with a token when the stream is pausable) and
+  releases the slot.  This is exactly what a client disconnect triggers.
+
+Emission-order guarantee: each job owns its stream exclusively, slices
+of one job never overlap, and the frames of consecutive slices are
+concatenated in order — so the answer frames of a job are bit-identical
+to a serial ``Session.stream`` run of the same request, no matter how
+many jobs run concurrently.  Sessions are shared across jobs (that is
+the point: one context build serves every client asking about the same
+graph); :class:`~repro.api.Session` is lock-protected for exactly this
+slice-reentrant use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+import time
+from collections.abc import Callable
+from concurrent.futures import ThreadPoolExecutor
+
+from ..api import Session, load_checkpoint
+from ..api.session import _diverse_selection, _expand_decompositions
+from .protocol import (
+    ProtocolError,
+    ServiceRequest,
+    TERMINAL_TYPES,
+    answer_frame,
+    encode_token,
+    new_token_key,
+    sign_token,
+    verify_token,
+)
+
+__all__ = ["EnumerationScheduler", "ScheduledJob", "DEFAULT_SLICE_ANSWERS"]
+
+#: Answers one slice may stream before yielding its worker slot.
+DEFAULT_SLICE_ANSWERS = 4
+
+
+class ScheduledJob:
+    """One admitted job: a frame queue plus its cooperative-cancel state.
+
+    Consumers read :attr:`frames` until a terminal frame (``type`` in
+    :data:`~repro.service.protocol.TERMINAL_TYPES`) arrives; the
+    scheduler guarantees exactly one terminal frame per job, always
+    delivered last.  The queue is *bounded* (``max_pending``): a job
+    whose consumer reads slowly stops slicing once the buffer fills —
+    backpressure, not unbounded server-side buffering — and resumes as
+    the consumer catches up.
+    """
+
+    def __init__(
+        self, job_id: int, request: ServiceRequest, max_pending: int = 64
+    ) -> None:
+        self.id = job_id
+        self.request = request
+        self.frames: asyncio.Queue[dict] = asyncio.Queue(maxsize=max_pending)
+        self.status = "pending"  # -> running -> <terminal frame type>
+        self.emitted = 0
+        self._cancel = threading.Event()
+        self._task: asyncio.Task | None = None
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether a cancel was requested (not yet necessarily honored)."""
+        return self._cancel.is_set()
+
+    @property
+    def finished(self) -> bool:
+        """Whether the job's terminal frame has been produced."""
+        return self.status in TERMINAL_TYPES
+
+    async def next_frame(self) -> dict:
+        """The next frame of this job (blocks until one is available)."""
+        return await self.frames.get()
+
+    async def drain(self) -> list[dict]:
+        """Consume and return all remaining frames through the terminal one."""
+        out = []
+        while True:
+            frame = await self.frames.get()
+            out.append(frame)
+            if frame["type"] in TERMINAL_TYPES:
+                return out
+
+    async def wait(self) -> None:
+        """Block until the job's runner task has fully wound down."""
+        if self._task is not None:
+            await asyncio.shield(self._task)
+
+
+class _JobRunner:
+    """The synchronous half of one job: owns the stream, runs in slices.
+
+    Never touched by more than one executor thread at a time (the
+    scheduler serializes a job's slices), so it needs no locking of its
+    own.  All blocking work — opening the stream (context build) and
+    pulling answers — happens inside :meth:`slice_`, on an executor
+    thread, never on the event loop.
+    """
+
+    def __init__(
+        self,
+        session: Session,
+        request: ServiceRequest,
+        cancel: threading.Event,
+        token_key: bytes,
+    ) -> None:
+        self._session = session
+        self._request = request
+        self._cancel = cancel
+        self._token_key = token_key
+        self._stream = None  # the pausable RankedStream, when op allows
+        self._source = None  # the ranked stream powering ANY op (stats)
+        self._iterator = None
+        self._opened = False
+        self._emitted = 0
+        self._started = time.perf_counter()
+        self._deadline_at = (
+            self._started + request.deadline
+            if request.deadline is not None
+            else None
+        )
+
+    # -- opening -------------------------------------------------------
+    def _open(self) -> None:
+        request = self._request
+        if request.token is not None:
+            # Authenticate BEFORE deserializing: checkpoints are pickle
+            # payloads, and unpickling unauthenticated network bytes
+            # would be remote code execution.
+            payload = verify_token(self._token_key, request.token)
+            try:
+                checkpoint = load_checkpoint(payload)
+            except Exception as exc:
+                raise ProtocolError(f"invalid resume token: {exc}") from None
+            stream = self._session.resume_stream(checkpoint)
+            self._stream = stream
+            self._source = stream
+            self._iterator = stream
+        elif request.op in ("enumerate", "top"):
+            stream = self._session.stream(
+                request.graph,
+                request.cost,
+                width_bound=request.width_bound,
+                preprocess=request.preprocess,
+            )
+            self._stream = stream
+            self._source = stream
+            self._iterator = stream
+        elif request.op == "diverse":
+            self._iterator = self._diverse_iterator()
+        else:  # decompositions
+            self._iterator = self._decomposition_iterator()
+        self._opened = True
+
+    def _diverse_iterator(self):
+        """Session's greedy diverse selection, sliceable answer by answer.
+
+        Delegates to :func:`repro.api.session._diverse_selection` — the
+        single implementation behind :meth:`Session.diverse` — wrapped
+        as a generator so the scheduler can pause it between answers.
+        """
+        request = self._request
+        limit = request.result_limit  # min(k, answer_budget), like Session
+        assert limit is not None
+        stream = self._session.stream(
+            request.graph,
+            request.cost,
+            width_bound=request.width_bound,
+            preprocess=request.preprocess,
+        )
+        self._source = stream
+        try:
+            # should_stop is polled once per *scanned* candidate, so a
+            # cancel/deadline lands mid-scan instead of after up to
+            # scan_limit expansions; slice_'s StopIteration handler then
+            # re-checks which terminal frame the early exit deserves.
+            yield from _diverse_selection(
+                stream,
+                limit,
+                request.min_distance,
+                request.scan_limit,
+                should_stop=self._interrupted,
+            )
+        finally:
+            stream.close()
+
+    def _decomposition_iterator(self):
+        """Proposition 6.1 expansion, with the source stream retained
+        so the terminal stats can report its true exhaustion state."""
+        request = self._request
+        stream = self._session.stream(
+            request.graph,
+            request.cost,
+            width_bound=request.width_bound,
+            preprocess=request.preprocess,
+        )
+        self._source = stream
+        try:
+            yield from _expand_decompositions(
+                stream, request.per_triangulation
+            )
+        finally:
+            stream.close()
+
+    def _interrupted(self) -> bool:
+        """Whether cancellation or the deadline should stop work now."""
+        return self._cancel.is_set() or (
+            self._deadline_at is not None
+            and time.perf_counter() > self._deadline_at
+        )
+
+    # -- checkpoints ---------------------------------------------------
+    def _token_fields(self) -> dict:
+        """``checkpoint``/``next_rank`` fields for a pausable stream.
+
+        A drained stream gets no token (there is nothing to resume;
+        the README protocol table promises exactly this), matching the
+        non-pausable ops.
+        """
+        if self._stream is None:
+            return {"next_rank": None, "checkpoint": None}
+        if self._stream.exhausted:
+            return {"next_rank": self._stream.next_rank, "checkpoint": None}
+        token = sign_token(self._token_key, self._stream.checkpoint().to_bytes())
+        return {
+            "next_rank": self._stream.next_rank,
+            "checkpoint": encode_token(token),
+        }
+
+    def _stats_frame(self, drained: bool) -> dict:
+        """The terminal ``stats`` frame.
+
+        All measurements come from the *source* ranked stream (the one
+        powering the op, whatever the op), mirroring what the in-process
+        ``Session`` reports for the same request: ``exhausted`` is the
+        source frontier's state — for decompositions additionally
+        requiring the expansion itself to have drained — never a guess
+        from the answer cap.
+        """
+        source = self._source
+        if source is None:
+            exhausted = drained
+        elif self._request.op == "decompositions":
+            exhausted = source.exhausted and drained
+        else:
+            exhausted = source.exhausted
+        frame = {
+            "type": "stats",
+            "emitted": self._emitted,
+            "expansions": source.expansions if source is not None else 0,
+            "exhausted": exhausted,
+            "elapsed_seconds": round(time.perf_counter() - self._started, 6),
+            "engine": source.engine_name if source is not None else "none",
+            "preprocessed": (
+                source is not None and source.engine_name == "composed"
+            ),
+        }
+        frame.update(self._token_fields())
+        return frame
+
+    # -- the slice -----------------------------------------------------
+    def slice_(self, max_answers: int) -> tuple[list[dict], bool]:
+        """Run one slice; returns ``(frames, finished)``.
+
+        Streams up to ``max_answers`` further answers, honoring — in
+        priority order, checked between answers — cancellation, the
+        deadline, and the answer cap.  When it reports finished, the
+        last frame is the job's single terminal frame and the stream is
+        closed.
+        """
+        frames: list[dict] = []
+        try:
+            if not self._opened:
+                # Failures while opening — unknown costs, disconnected
+                # graphs, bad tokens — are the client's fault; anything
+                # thrown later, mid-enumeration, is a server fault and
+                # must not masquerade as one.
+                try:
+                    self._open()
+                except ProtocolError:
+                    raise
+                except (ValueError, KeyError) as exc:
+                    raise ProtocolError(str(exc)) from exc
+            limit = self._request.result_limit
+            for _ in range(max_answers):
+                if self._cancel.is_set():
+                    frames.append({"type": "cancelled", "emitted": self._emitted,
+                                   **self._token_fields()})
+                    self.close()
+                    return frames, True
+                if (
+                    self._deadline_at is not None
+                    and time.perf_counter() > self._deadline_at
+                ):
+                    frames.append({"type": "deadline", "emitted": self._emitted,
+                                   **self._token_fields()})
+                    self.close()
+                    return frames, True
+                if limit is not None and self._emitted >= limit:
+                    frames.append(self._stats_frame(drained=False))
+                    self.close()
+                    return frames, True
+                try:
+                    result = next(self._iterator)
+                except StopIteration:
+                    # An early exit forced by should_stop mid-scan must
+                    # surface as the interruption it was, not as normal
+                    # completion.
+                    if self._cancel.is_set():
+                        frames.append({"type": "cancelled",
+                                       "emitted": self._emitted,
+                                       **self._token_fields()})
+                    elif (
+                        self._deadline_at is not None
+                        and time.perf_counter() > self._deadline_at
+                    ):
+                        frames.append({"type": "deadline",
+                                       "emitted": self._emitted,
+                                       **self._token_fields()})
+                    else:
+                        frames.append(self._stats_frame(drained=True))
+                    self.close()
+                    return frames, True
+                if self._request.op == "diverse":
+                    frame = answer_frame(result, rank=self._emitted)
+                else:
+                    frame = answer_frame(result)
+                self._emitted += 1
+                frames.append(frame)
+            return frames, False
+        except Exception:
+            self.close()
+            raise
+
+    def close(self) -> None:
+        """Release the stream (idempotent)."""
+        iterator, self._iterator = self._iterator, None
+        self._stream = None
+        if iterator is not None:
+            close = getattr(iterator, "close", None)
+            if close is not None:
+                close()
+
+
+class EnumerationScheduler:
+    """Admits jobs and multiplexes their slices over a bounded worker pool.
+
+    Parameters
+    ----------
+    max_workers:
+        Executor threads == concurrently running slices.  Everything
+        else — any number of admitted jobs — waits its turn on the slot
+        semaphore.
+    slice_answers:
+        Answers per slice before a job yields its slot.  Smaller values
+        trade throughput for fairness (and for cancellation latency —
+        cancels and deadlines are noticed at answer boundaries).
+    max_pending_frames:
+        Bound of each job's frame buffer.  A consumer that falls this
+        far behind pauses its job's slicing (backpressure) until it
+        catches up; server memory per job is O(bound), never O(answers).
+    token_key:
+        HMAC key signing every resume token this scheduler mints; only
+        tokens that verify under it are ever deserialized (checkpoints
+        are pickle payloads — authentication is the unpickling gate).
+        ``None`` (default) generates a random per-scheduler key, scoping
+        tokens to this instance; pass a shared key to make tokens
+        portable across a pool or a restart.
+    session_factory:
+        Builds the shared :class:`~repro.api.Session` for a kernel name;
+        one session is created lazily per kernel and reused by every job
+        requesting that kernel.  Defaults to ``Session(kernel=...)``.
+
+    The scheduler must be driven from one running asyncio event loop
+    (:class:`asyncio.Queue` and the slot semaphore bind to it); the
+    blocking enumeration work all happens on the executor threads.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_workers: int = 2,
+        slice_answers: int = DEFAULT_SLICE_ANSWERS,
+        max_pending_frames: int = 64,
+        token_key: bytes | None = None,
+        session_factory: Callable[[str], Session] | None = None,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if slice_answers < 1:
+            raise ValueError(f"slice_answers must be >= 1, got {slice_answers}")
+        if max_pending_frames < 1:
+            raise ValueError(
+                f"max_pending_frames must be >= 1, got {max_pending_frames}"
+            )
+        self._slice_answers = slice_answers
+        self._max_pending = max_pending_frames
+        self._token_key = token_key if token_key is not None else new_token_key()
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-service"
+        )
+        self._slots = asyncio.Semaphore(max_workers)
+        self._session_factory = session_factory or (
+            lambda kernel: Session(kernel=kernel)
+        )
+        self._sessions: dict[str, Session] = {}
+        self._sessions_lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._jobs: dict[int, ScheduledJob] = {}
+        self._admitted = 0
+        self._completed = 0
+        self._closed = False
+
+    # -- sessions ------------------------------------------------------
+    def session(self, kernel: str = "bitset") -> Session:
+        """The shared session serving jobs of ``kernel`` (built lazily)."""
+        with self._sessions_lock:
+            session = self._sessions.get(kernel)
+            if session is None:
+                session = self._session_factory(kernel)
+                self._sessions[kernel] = session
+            return session
+
+    # -- lifecycle -----------------------------------------------------
+    async def submit(self, request: ServiceRequest) -> ScheduledJob:
+        """Admit one job; its frames start flowing into ``job.frames``."""
+        if self._closed:
+            raise RuntimeError("scheduler is closed")
+        job = ScheduledJob(next(self._ids), request, self._max_pending)
+        self._jobs[job.id] = job
+        self._admitted += 1
+        job._task = asyncio.create_task(self._run(job))
+        return job
+
+    async def _run(self, job: ScheduledJob) -> None:
+        job.status = "running"
+        runner = _JobRunner(
+            self.session(job.request.kernel),
+            job.request,
+            job._cancel,
+            self._token_key,
+        )
+        loop = asyncio.get_running_loop()
+        terminal = "error"
+        try:
+            while True:
+                async with self._slot():
+                    frames, finished = await loop.run_in_executor(
+                        self._executor, runner.slice_, self._slice_answers
+                    )
+                for frame in frames:
+                    if frame["type"] == "answer":
+                        job.emitted += 1
+                    else:
+                        terminal = frame["type"]
+                    # Blocks when the consumer is behind (bounded queue):
+                    # the slot is already released, so a slow client
+                    # costs buffer space and its own latency, nothing else.
+                    await job.frames.put(frame)
+                if finished:
+                    break
+                # Explicit fairness point: even if the semaphore has free
+                # slots, let other ready jobs interleave between slices.
+                await asyncio.sleep(0)
+        except ProtocolError as exc:
+            await job.frames.put(
+                {"type": "error", "code": "bad-request", "message": str(exc)}
+            )
+        except Exception as exc:  # keep the scheduler alive, report in-band
+            await job.frames.put(
+                {"type": "error", "code": "internal", "message": str(exc)}
+            )
+        finally:
+            runner.close()
+            job.status = terminal
+            self._completed += 1
+            self._jobs.pop(job.id, None)
+
+    def _slot(self):
+        return self._slots
+
+    @property
+    def token_key(self) -> bytes:
+        """The key this scheduler signs resume tokens with."""
+        return self._token_key
+
+    def open_token(self, token: bytes):
+        """Authenticate a wire token this scheduler minted and load it.
+
+        The inspection/debugging counterpart of the resume path; raises
+        :class:`~repro.service.protocol.ProtocolError` on a token from
+        another instance (or tampered bytes) before any unpickling.
+        """
+        return load_checkpoint(verify_token(self._token_key, token))
+
+    def cancel(self, job: ScheduledJob) -> None:
+        """Request cooperative cancellation (a disconnect calls this too).
+
+        The job's running slice notices at its next answer boundary,
+        emits a terminal ``cancelled`` frame and releases the worker
+        slot; a job that already finished is unaffected.
+        """
+        job._cancel.set()
+
+    @property
+    def active_jobs(self) -> int:
+        """Jobs admitted but not yet wound down (slot pressure proxy)."""
+        return len(self._jobs)
+
+    def stats(self) -> dict[str, int]:
+        """Scheduler counters (admission/completion/live job counts)."""
+        return {
+            "admitted": self._admitted,
+            "completed": self._completed,
+            "active": self.active_jobs,
+        }
+
+    async def close(self) -> None:
+        """Cancel every live job, wait for wind-down, stop the executor."""
+        self._closed = True
+        jobs = list(self._jobs.values())
+        for job in jobs:
+            self.cancel(job)
+        for job in jobs:
+            if job._task is None:
+                continue
+            # Give a still-attached consumer (a live connection handler)
+            # first claim on the remaining frames, so the client receives
+            # its terminal cancelled frame + resume token.  Only when the
+            # runner cannot finish on its own — the consumer is gone and
+            # the bounded queue is full — drain on its behalf.
+            try:
+                await asyncio.wait_for(asyncio.shield(job._task), timeout=1.0)
+            except asyncio.TimeoutError:
+                drain = asyncio.create_task(job.drain())
+                await job._task
+                drain.cancel()
+                try:
+                    await drain
+                except asyncio.CancelledError:
+                    pass
+        self._executor.shutdown(wait=True)

@@ -1,0 +1,347 @@
+"""The asyncio TCP server of the enumeration service.
+
+One connection carries one job: the client sends a single ``request``
+frame, the server streams ``answer`` frames as the scheduler produces
+them and finishes with one terminal frame (``stats`` / ``deadline`` /
+``cancelled`` / ``error``).  While a job streams, the server keeps
+reading the connection: an in-band ``{"type": "cancel"}`` frame — or
+the client closing its end — triggers cooperative cancellation through
+the scheduler, which releases the job's worker slot at the next answer
+boundary.  A malformed opening frame is answered with an in-band
+``error`` frame on that connection only; the server keeps serving.
+
+Pause/resume is connection-independent: any terminal frame carrying a
+``checkpoint`` token can be resumed by a *new* connection (a new
+request frame with ``token`` instead of ``graph``), continuing the
+exact ranked sequence — the cross-process checkpoint machinery is the
+reconnection story.
+
+Use :class:`EnumerationServer` inside an existing event loop, or
+:class:`ServerThread` / :func:`serve` for the blocking entry points
+(tests, benchmarks, and ``repro serve``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from .protocol import (
+    ProtocolError,
+    TERMINAL_TYPES,
+    decode_frame,
+    encode_frame,
+    parse_request,
+)
+from .scheduler import DEFAULT_SLICE_ANSWERS, EnumerationScheduler, ScheduledJob
+
+__all__ = ["EnumerationServer", "ServerThread", "serve"]
+
+
+class EnumerationServer:
+    """Streams scheduler frames over NDJSON TCP connections.
+
+    Parameters
+    ----------
+    scheduler:
+        The :class:`~repro.service.scheduler.EnumerationScheduler` to
+        admit jobs into; built from ``max_workers`` / ``slice_answers``
+        when not given.
+    host, port:
+        Bind address; port ``0`` picks a free port (see
+        :attr:`address` after :meth:`start`).
+    max_frame_bytes:
+        Upper bound on one incoming frame line (asyncio's stream limit;
+        default 16 MiB — far above any realistic request graph).  A
+        frame beyond it is answered with an in-band ``error`` frame,
+        not a dropped connection.
+    """
+
+    def __init__(
+        self,
+        *,
+        scheduler: EnumerationScheduler | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_workers: int = 2,
+        slice_answers: int = DEFAULT_SLICE_ANSWERS,
+        max_pending_frames: int = 64,
+        max_frame_bytes: int = 16 * 1024 * 1024,
+        token_key: bytes | None = None,
+    ) -> None:
+        self.scheduler = scheduler or EnumerationScheduler(
+            max_workers=max_workers,
+            slice_answers=slice_answers,
+            max_pending_frames=max_pending_frames,
+            token_key=token_key,
+        )
+        self._host = host
+        self._port = port
+        self._max_frame_bytes = max_frame_bytes
+        self._server: asyncio.base_events.Server | None = None
+        self.address: tuple[str, int] | None = None
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns the actual ``(host, port)``."""
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self._host,
+            self._port,
+            limit=self._max_frame_bytes,
+        )
+        sock = self._server.sockets[0]
+        self.address = sock.getsockname()[:2]
+        return self.address
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (call :meth:`start` first)."""
+        assert self._server is not None, "call start() before serve_forever()"
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting, cancel live jobs, and wind the scheduler down.
+
+        Order matters: jobs are cancelled *before* waiting on the
+        connection handlers, because on Python >= 3.12.1
+        ``Server.wait_closed`` blocks until every handler returns — and
+        a handler streaming a long job only returns once the scheduler
+        cancels it and the terminal ``cancelled`` frame goes out.
+        """
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()  # stop accepting; live handlers keep running
+        await self.scheduler.close()
+        if server is not None:
+            try:
+                # Handlers are now delivering their terminal frames; give
+                # them a bounded window (a stalled client socket must not
+                # wedge shutdown — its task dies with the event loop).
+                await asyncio.wait_for(server.wait_closed(), timeout=5.0)
+            except asyncio.TimeoutError:
+                pass
+
+    # -- one connection ------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            await self._serve_connection(reader, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away; the job (if any) was cancelled below
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            line = await reader.readline()
+        except ValueError:
+            # Opening frame exceeded the stream limit: still an in-band
+            # protocol violation, answered as one.
+            await self._send(
+                writer,
+                {
+                    "type": "error",
+                    "code": "bad-request",
+                    "message": (
+                        "request frame exceeds the server's "
+                        f"{self._max_frame_bytes}-byte frame limit"
+                    ),
+                },
+            )
+            return
+        if not line:
+            return
+        try:
+            request = parse_request(decode_frame(line))
+        except ProtocolError as exc:
+            # In-band error; this connection ends, the server lives on.
+            await self._send(
+                writer,
+                {"type": "error", "code": "bad-request", "message": str(exc)},
+            )
+            return
+        try:
+            job = await self.scheduler.submit(request)
+        except RuntimeError as exc:
+            # Raced with shutdown: still an in-band answer, not a dead socket.
+            await self._send(
+                writer,
+                {"type": "error", "code": "shutting-down", "message": str(exc)},
+            )
+            return
+        watcher = asyncio.create_task(self._watch_client(reader, job))
+        try:
+            while True:
+                frame = await job.next_frame()
+                try:
+                    await self._send(writer, frame)
+                except (ConnectionError, OSError):
+                    # Mid-stream disconnect: release the slot cooperatively
+                    # and let the job wind down through its terminal frame.
+                    self.scheduler.cancel(job)
+                    if frame["type"] not in TERMINAL_TYPES:
+                        await job.drain()
+                    break
+                if frame["type"] in TERMINAL_TYPES:
+                    break
+        finally:
+            watcher.cancel()
+
+    async def _watch_client(
+        self, reader: asyncio.StreamReader, job: ScheduledJob
+    ) -> None:
+        """Watch for in-band cancel frames and for the client hanging up."""
+        while True:
+            try:
+                line = await reader.readline()
+            except ValueError:
+                # Oversized garbage mid-stream: treat as a lost client.
+                line = b""
+            except (ConnectionError, OSError):
+                line = b""
+            if not line:  # EOF: the client disconnected mid-stream
+                self.scheduler.cancel(job)
+                return
+            try:
+                frame = decode_frame(line)
+            except ProtocolError:
+                continue  # garbage mid-stream is ignored, not fatal
+            if frame.get("type") == "cancel":
+                self.scheduler.cancel(job)
+                return
+
+    @staticmethod
+    async def _send(writer: asyncio.StreamWriter, frame: dict) -> None:
+        writer.write(encode_frame(frame))
+        await writer.drain()
+
+
+class ServerThread:
+    """A server running on its own event loop in a daemon thread.
+
+    The blocking deployment shape used by the tests, the throughput
+    benchmark, and any host application that is not itself async::
+
+        with ServerThread(max_workers=4) as handle:
+            client = ServiceClient(*handle.address)
+            ...
+
+    ``address`` is available as soon as the context manager (or
+    :meth:`start`) returns.
+    """
+
+    def __init__(self, **server_kwargs: object) -> None:
+        self._server_kwargs = server_kwargs
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self.address: tuple[str, int] | None = None
+        self.server: EnumerationServer | None = None
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main()),
+            name="repro-service-server",
+            daemon=True,
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        server = EnumerationServer(**self._server_kwargs)
+        try:
+            self.address = await server.start()
+            self.server = server
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            await server.stop()
+
+    def stop(self) -> None:
+        """Shut the server down and join its thread.  Idempotent."""
+        if self._loop is not None and self._stop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:
+                pass  # loop already closed by an earlier stop()
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+            self._thread = None
+
+    def scheduler_stats(self) -> dict[str, int]:
+        """The live scheduler counters (thread-safe reads of plain ints)."""
+        assert self.server is not None
+        return self.server.scheduler.stats()
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *_exc: object) -> None:
+        self.stop()
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    max_workers: int = 2,
+    slice_answers: int = DEFAULT_SLICE_ANSWERS,
+    token_key: bytes | None = None,
+    on_bound=None,
+    stop: "threading.Event | None" = None,
+    announce=print,
+) -> None:
+    """Run a server in the foreground until interrupted (``repro serve``).
+
+    ``on_bound`` (if given) receives the actual ``(host, port)`` once
+    listening; setting the optional ``stop`` event from another thread
+    shuts the server down cleanly — the hooks that let tests drive this
+    exact entry point.
+    """
+
+    async def main() -> None:
+        server = EnumerationServer(
+            host=host,
+            port=port,
+            max_workers=max_workers,
+            slice_answers=slice_answers,
+            token_key=token_key,
+        )
+        bound_host, bound_port = await server.start()
+        announce(f"repro service listening on {bound_host}:{bound_port}")
+        if on_bound is not None:
+            on_bound((bound_host, bound_port))
+        try:
+            if stop is None:
+                await server.serve_forever()
+            else:
+                while not stop.is_set():
+                    await asyncio.sleep(0.05)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass

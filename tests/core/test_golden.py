@@ -18,7 +18,13 @@ set-kernel reference)::
     PYTHONPATH=src python -m tests.core.test_golden
 
 The writer refuses to run under pytest so the corpus cannot be clobbered
-accidentally.
+accidentally.  An explicit output path regenerates elsewhere::
+
+    PYTHONPATH=src python -m tests.core.test_golden /tmp/golden.json
+
+which is how CI's golden-drift job works: it regenerates into a temp
+file and fails with a diff when the bytes do not match the checked-in
+corpus — silent regeneration drift cannot land.
 """
 
 from __future__ import annotations
@@ -144,7 +150,7 @@ def test_golden_corpus_shape():
             ], f"{name}/{cost}: pipelines disagree on costs"
 
 
-def _regenerate() -> None:
+def _regenerate(path: Path = GOLDEN_PATH) -> None:
     golden = {}
     for name in sorted(GRAPHS):
         golden[name] = {}
@@ -154,12 +160,14 @@ def _regenerate() -> None:
                 seq = _observed(name, cost, "sets", mode)
                 golden[name][cost][mode] = seq
                 print(f"{name:>18} {cost:>6} {mode:>10}: {len(seq)} answers")
-    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
-    with GOLDEN_PATH.open("w") as fh:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
         json.dump(golden, fh, indent=1, sort_keys=True)
         fh.write("\n")
-    print(f"wrote {GOLDEN_PATH}")
+    print(f"wrote {path}")
 
 
 if __name__ == "__main__":
-    _regenerate()
+    import sys
+
+    _regenerate(Path(sys.argv[1]) if len(sys.argv) > 1 else GOLDEN_PATH)

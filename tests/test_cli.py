@@ -167,3 +167,125 @@ class TestPreprocessFlag:
         tail = [line for line in capsys.readouterr().out.splitlines()
                 if line.startswith("#")]
         assert head + tail == uninterrupted
+
+
+class TestServeSubmit:
+    """`repro submit` against a live in-process service."""
+
+    @pytest.fixture()
+    def service(self):
+        from repro.service import ServerThread
+
+        with ServerThread(max_workers=2) as handle:
+            yield handle.address
+
+    def test_submit_streams_answers(self, service, gr_file, capsys):
+        host, port = service
+        rc = main([
+            "submit", gr_file, "--cost", "fill", "--top", "3",
+            "--host", host, "--port", str(port),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert out.count("#") >= 1
+        assert "stats:" in out
+
+    def test_submit_checkpoint_resume_continues(
+        self, service, gr_file, tmp_path, capsys
+    ):
+        host, port = service
+        token = str(tmp_path / "service.tok")
+        assert main([
+            "submit", gr_file, "--mode", "enumerate", "--cost", "fill",
+            "--top", "20", "--host", host, "--port", str(port),
+        ]) == 0
+        uninterrupted = [
+            line for line in capsys.readouterr().out.splitlines()
+            if line.startswith("#")
+        ]
+        assert main([
+            "submit", gr_file, "--mode", "enumerate", "--cost", "fill",
+            "--top", "2", "--host", host, "--port", str(port),
+            "--checkpoint", token,
+        ]) == 0
+        head = [line for line in capsys.readouterr().out.splitlines()
+                if line.startswith("#")]
+        assert main([
+            "submit", "--resume", token, "--top", "18",
+            "--host", host, "--port", str(port),
+        ]) == 0
+        tail = [line for line in capsys.readouterr().out.splitlines()
+                if line.startswith("#")]
+        assert head + tail == uninterrupted[: len(head) + len(tail)]
+
+    def test_submit_diverse_mode(self, service, gr_file, capsys):
+        host, port = service
+        rc = main([
+            "submit", gr_file, "--mode", "diverse", "--top", "2",
+            "--min-distance", "2", "--host", host, "--port", str(port),
+        ])
+        assert rc == 0
+        assert "#" in capsys.readouterr().out
+
+    def test_submit_rejects_graph_plus_resume(self, gr_file, tmp_path, capsys):
+        rc = main([
+            "submit", gr_file, "--resume", str(tmp_path / "nope.tok"),
+        ])
+        assert rc == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_submit_unreachable_server_errors(self, gr_file, capsys):
+        rc = main([
+            "submit", gr_file, "--host", "127.0.0.1", "--port", "1",
+        ])
+        assert rc == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_submit_k_zero_is_an_empty_page(self, service, tmp_path, capsys):
+        from repro.graphs.generators import paper_example_graph
+
+        host, port = service
+        path = tmp_path / "paper.gr"
+        write_graph(paper_example_graph(), path)
+        rc = main([
+            "submit", str(path), "--cost", "width", "--top", "0",
+            "--host", host, "--port", str(port),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "stats: 0 answers" in out
+
+    def test_submit_resume_rejects_conflicting_flags(self, gr_file, tmp_path, capsys):
+        rc = main([
+            "submit", "--resume", str(tmp_path / "tok.bin"),
+            "--cost", "fill", "--mode", "diverse",
+        ])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "--mode" in err and "--cost" in err
+
+    def test_submit_checkpoint_on_exhausted_run_succeeds(
+        self, service, gr_file, tmp_path, capsys
+    ):
+        host, port = service
+        token = str(tmp_path / "done.tok")
+        rc = main([
+            "submit", gr_file, "--mode", "enumerate", "--cost", "fill",
+            "--top", "500", "--host", host, "--port", str(port),
+            "--checkpoint", token,
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0  # exhausting the space is success, not failure
+        assert "(exhausted)" in out
+
+    def test_submit_checkpoint_on_diverse_mode_errors(
+        self, service, gr_file, tmp_path, capsys
+    ):
+        host, port = service
+        rc = main([
+            "submit", gr_file, "--mode", "diverse", "--top", "2",
+            "--host", host, "--port", str(port),
+            "--checkpoint", str(tmp_path / "nope.tok"),
+        ])
+        assert rc == 1
+        assert "pausable" in capsys.readouterr().err
