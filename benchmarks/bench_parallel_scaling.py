@@ -10,10 +10,14 @@ families of the paper's Figure 8 / Table 2.  Reported per row:
 * ``speedup`` — serial delay divided by this row's delay.
 
 The emitted sequences are asserted identical across worker counts (the
-engine's core guarantee); only the timing may differ.  On a single-core
-container the speedup hovers around (or below) 1 — the point of the
-table is the measurement harness itself, which reproduces the paper's
-delay metric under each engine.  Override the sweep with
+engine's core guarantee); only the timing may differ.  The pool
+strategy dispatches each pop's jobs in contiguous chunks (one pickle
+round trip per chunk, at most one chunk per worker), so on *delay-heavy*
+instances — where the constrained DP per child dominates the dispatch
+overhead, like the ``gnp-n14`` row — speedup above 1.0 is achievable
+once real cores are available.  On a single-core container every row
+necessarily hovers at (or below) 1: the table then documents the
+dispatch overhead, not the scaling.  Override the sweep with
 ``REPRO_BENCH_WORKERS`` (comma-separated counts), the per-run answer
 count with ``REPRO_BENCH_SCALING_K``, and the graph kernel the shared
 context is built with via ``REPRO_BENCH_KERNEL`` (``bitset`` default /
@@ -65,6 +69,12 @@ def test_parallel_scaling_report(benchmark, smoke):
     ]
     if not smoke:
         instances.append(grids_instances()[0])  # grid-4x4: smallest PGM
+        # Delay-heavy: enough vertices that each pop's constrained DPs
+        # dwarf the chunk-dispatch overhead — the regime where the
+        # batched pool can beat serial on a multi-core machine.
+        instances.append(
+            ("gnp-n14-p0.3", connected_erdos_renyi(14, 0.3, seed=7))
+        )
     sweep = [1, 2] if smoke else _worker_sweep()
 
     raw_delays: list[float] = []

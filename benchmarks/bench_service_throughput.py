@@ -1,10 +1,17 @@
 """Service throughput study: answers/sec and first-answer latency.
 
 Measures the concurrent enumeration service end to end — real TCP
-sockets, the NDJSON protocol, the fair-share scheduler, a shared
-session — under 1, 4, and 16 concurrent clients.  Each client submits a
-batch of ``top(k)`` jobs over a pool of small mixed graphs; per level
-the driver reports
+sockets, the NDJSON protocol, the fair-share scheduler — under 1, 4,
+and 16 concurrent clients, once per execution backend:
+
+* ``inprocess`` — slices run on the scheduler's executor threads over
+  one shared session (GIL-bound: aggregate throughput cannot scale);
+* ``process``   — slices dispatch to the long-lived worker-process pool
+  with session-affinity routing (``repro.service.workers``), the
+  backend built to scale past the GIL on multi-core machines.
+
+Each client submits a batch of ``top(k)`` jobs over a pool of small
+mixed graphs; per (backend, level) the driver reports
 
 * ``answers_per_sec`` — total answer frames delivered / wall-clock;
 * ``p50_first_ms`` / ``p99_first_ms`` — percentiles of the time from
@@ -16,13 +23,15 @@ the driver reports
 
 Every delivered page is asserted bit-identical to the serial
 ``Session.stream`` serialization of the same request — the benchmark is
-also a load-level differential test.
+also a load-level differential test, on both backends.
 
 Rows land in ``results/service_throughput.json`` / ``.txt``.  Knobs:
 ``REPRO_BENCH_SERVICE_CLIENTS`` (comma-separated levels, default
 ``1,4,16``), ``REPRO_BENCH_SERVICE_REQUESTS`` (jobs per client, default
-6), ``REPRO_BENCH_SERVICE_K`` (answers per job, default 8), and
-``REPRO_BENCH_SERVICE_WORKERS`` (scheduler slots, default 4).
+6), ``REPRO_BENCH_SERVICE_K`` (answers per job, default 8),
+``REPRO_BENCH_SERVICE_WORKERS`` (scheduler slots *and* worker
+processes, default 4), and ``REPRO_BENCH_SERVICE_BACKENDS``
+(comma-separated, default ``inprocess,process``).
 """
 
 from __future__ import annotations
@@ -122,12 +131,23 @@ def test_service_throughput_report(benchmark, smoke):
     )
     k = 3 if smoke else int(os.environ.get("REPRO_BENCH_SERVICE_K", "8"))
     workers = int(os.environ.get("REPRO_BENCH_SERVICE_WORKERS", "4"))
+    backends = [
+        tok.strip()
+        for tok in os.environ.get(
+            "REPRO_BENCH_SERVICE_BACKENDS", "inprocess,process"
+        ).split(",")
+        if tok.strip()
+    ]
     pool = _graph_pool(smoke)
     reference = _reference_lines(pool, k)
 
-    def run():
-        rows = []
-        with ServerThread(max_workers=workers, slice_answers=4) as handle:
+    def run_backend(backend, rows):
+        with ServerThread(
+            max_workers=workers,
+            slice_answers=4,
+            backend=backend,
+            worker_processes=workers,
+        ) as handle:
             for level in levels:
                 # Deterministic round-robin job mix per client.
                 per_client = []
@@ -171,6 +191,7 @@ def test_service_throughput_report(benchmark, smoke):
                 answers = sum(e["answers"] for e in records)
                 rows.append(
                     {
+                        "backend": backend,
                         "clients": level,
                         "jobs": len(records),
                         "answers": answers,
@@ -186,6 +207,11 @@ def test_service_throughput_report(benchmark, smoke):
                         ),
                     }
                 )
+
+    def run():
+        rows = []
+        for backend in backends:
+            run_backend(backend, rows)
         return rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -193,12 +219,15 @@ def test_service_throughput_report(benchmark, smoke):
         rows,
         title=(
             f"Service throughput (top-{k}, {requests} jobs/client, "
-            f"{workers} scheduler workers)"
+            f"{workers} scheduler slots / worker processes)"
         ),
     )
     print("\n" + text)
     save_report("service_throughput", rows, text)
 
-    assert {r["clients"] for r in rows} == set(levels)
+    assert {r["backend"] for r in rows} == set(backends)
+    for backend in backends:
+        backend_rows = [r for r in rows if r["backend"] == backend]
+        assert {r["clients"] for r in backend_rows} == set(levels)
     assert all(r["jobs"] == r["clients"] * requests for r in rows)
     assert all(r["answers"] > 0 for r in rows)

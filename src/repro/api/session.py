@@ -296,7 +296,21 @@ class Session:
                 "misses": self._misses,
                 "builds": self._builds,
                 "plans": len(self._plans),
+                "prepared_tables": sum(
+                    len(entry.prepared) for entry in self._contexts.values()
+                ),
             }
+
+    def warm_fingerprints(self) -> list[str]:
+        """Fingerprints of the contexts currently warm, coldest first.
+
+        The observability hook behind the service's ``stats`` job kind:
+        a worker whose warm set contains a request's fingerprint serves
+        it without rebuilding the initialization (affinity routing aims
+        requests at exactly that worker).
+        """
+        with self._lock:
+            return [fp for fp, _width_bound in self._contexts]
 
     def close(self) -> None:
         """Drop every cached context, prepared table and preprocess plan."""

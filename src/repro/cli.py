@@ -5,8 +5,9 @@ Usage examples::
     python -m repro stats graph.gr
     python -m repro treewidth graph.gr
     python -m repro enumerate graph.gr --cost fill --top 5 --diverse 2
-    python -m repro serve --port 8737
+    python -m repro serve --port 8737 --backend process --workers 4
     python -m repro submit graph.gr --cost fill --top 5 --port 8737
+    python -m repro submit --stats --port 8737
     python -m repro datasets
     python -m repro experiments figure5 table2
 
@@ -156,10 +157,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--workers",
         type=_positive_int,
-        default=2,
+        default=None,
         metavar="N",
-        help="concurrent stream slices (executor threads); admitted jobs "
-        "beyond N interleave fairly in slices",
+        help="concurrent stream slices; with --backend process (the "
+        "default) this is the size of the worker-process pool "
+        "(default: cpu count), with --backend inprocess the executor "
+        "thread count (default: 2)",
+    )
+    p_serve.add_argument(
+        "--backend",
+        default="process",
+        choices=("process", "inprocess"),
+        help="where enumeration slices run: process = long-lived worker "
+        "processes with session-affinity routing and crash re-dispatch "
+        "(scales past the GIL; default), inprocess = this process's "
+        "executor threads (the differential-oracle backend)",
     )
     p_serve.add_argument(
         "--slice-answers",
@@ -223,6 +235,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="resume from a token written by --checkpoint (new connection, "
         "same exact sequence)",
+    )
+    p_sub.add_argument(
+        "--stats",
+        action="store_true",
+        help="instead of submitting a job, report server observability: "
+        "scheduler counters plus per-worker queue depth, warm-session "
+        "fingerprints and cache hit counts",
     )
 
     sub.add_parser("datasets", help="list the built-in dataset families")
@@ -340,12 +359,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
+    if args.workers is not None:
+        workers = args.workers
+    elif args.backend == "process":
+        workers = max(os.cpu_count() or 1, 2)
+    else:
+        workers = 2
     serve(
         host=args.host,
         port=args.port,
-        max_workers=args.workers,
+        max_workers=workers,
         slice_answers=args.slice_answers,
         token_key=token_key,
+        backend=args.backend,
+        worker_processes=workers if args.backend == "process" else None,
     )
     return 0
 
@@ -354,6 +381,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     from .service import ServiceClient, ServiceError, ServiceRequest
     from .service.protocol import DeadlineFrame, StatsFrame
 
+    if args.stats:
+        return _cmd_submit_stats(args)
     if (args.graph is None) == (args.resume is None):
         print(
             "error: submit needs a graph file or --resume PATH (not both)",
@@ -444,6 +473,59 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 1
+    return 0
+
+
+def _cmd_submit_stats(args: argparse.Namespace) -> int:
+    """``repro submit --stats``: the service observability report."""
+    from .service import ServiceClient, ServiceError
+
+    if args.graph is not None or args.resume is not None:
+        print(
+            "error: --stats takes no graph and no --resume",
+            file=sys.stderr,
+        )
+        return 2
+    client = ServiceClient(args.host, args.port)
+    try:
+        frame = client.service_stats()
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(
+            f"error: cannot reach service at {args.host}:{args.port} ({exc}); "
+            "is `repro serve` running?",
+            file=sys.stderr,
+        )
+        return 1
+    sched = frame.scheduler
+    print(
+        f"backend: {frame.backend}  jobs: {sched['admitted']} admitted, "
+        f"{sched['completed']} completed, {sched['active']} active"
+    )
+    for row in frame.workers:
+        line = (
+            f"worker {row['worker']}: pid={row['pid']} "
+            f"alive={row['alive']}"
+        )
+        if row.get("active_jobs") is not None:
+            line += f" jobs={row['active_jobs']}"
+        if row.get("respawns") is not None:
+            line += f" respawns={row['respawns']}"
+        print(line)
+        if row.get("busy"):
+            print("  (busy; session detail unavailable)")
+        for kernel, info in sorted((row.get("sessions") or {}).items()):
+            cache = info["cache"]
+            warm = info["warm"]
+            print(
+                f"  {kernel}: contexts={cache['contexts']} "
+                f"hits={cache['hits']} misses={cache['misses']} "
+                f"prepared={cache.get('prepared_tables', 0)}"
+            )
+            for fp in warm:
+                print(f"    warm {fp[:16]}…")
     return 0
 
 

@@ -12,6 +12,10 @@ turned into a wire protocol.
 * :mod:`~repro.service.scheduler` — fair-share slicing of any number of
   admitted jobs over a bounded worker pool, with deadlines, answer
   budgets and cooperative cancellation;
+* :mod:`~repro.service.workers` — the multi-process execution backend
+  (``backend="process"``): long-lived worker processes owning warm
+  kernel-keyed sessions, graph-fingerprint affinity routing, and crash
+  re-dispatch from the last acknowledged slice checkpoint;
 * :mod:`~repro.service.server` — the asyncio server
   (:class:`EnumerationServer`), plus the blocking
   :class:`ServerThread` / :func:`serve` wrappers;
@@ -36,11 +40,18 @@ from .protocol import (
     ErrorFrame,
     ProtocolError,
     ServiceRequest,
+    ServiceStatsFrame,
     StatsFrame,
     serialize_answers,
 )
-from .scheduler import EnumerationScheduler, ScheduledJob
+from .scheduler import (
+    EnumerationScheduler,
+    ExecutionBackend,
+    InProcessBackend,
+    ScheduledJob,
+)
 from .server import EnumerationServer, ServerThread, serve
+from .workers import ProcessWorkerBackend, WorkerPool
 
 __all__ = [
     "AnswerFrame",
@@ -49,6 +60,9 @@ __all__ = [
     "EnumerationScheduler",
     "EnumerationServer",
     "ErrorFrame",
+    "ExecutionBackend",
+    "InProcessBackend",
+    "ProcessWorkerBackend",
     "ProtocolError",
     "ScheduledJob",
     "ServerThread",
@@ -56,8 +70,10 @@ __all__ = [
     "ServiceError",
     "ServiceRequest",
     "ServiceResult",
+    "ServiceStatsFrame",
     "ServiceStream",
     "StatsFrame",
+    "WorkerPool",
     "serialize_answers",
     "serve",
 ]

@@ -35,6 +35,7 @@ from .protocol import (
     ErrorFrame,
     ProtocolError,
     ServiceRequest,
+    ServiceStatsFrame,
     StatsFrame,
     decode_frame,
     encode_frame,
@@ -43,7 +44,9 @@ from .protocol import (
 
 __all__ = ["ServiceClient", "ServiceStream", "ServiceResult", "ServiceError"]
 
-TerminalFrame = Union[StatsFrame, DeadlineFrame, CancelledFrame, ErrorFrame]
+TerminalFrame = Union[
+    StatsFrame, ServiceStatsFrame, DeadlineFrame, CancelledFrame, ErrorFrame
+]
 
 
 class ServiceError(RuntimeError):
@@ -240,6 +243,14 @@ class ServiceClient:
                 op="decompositions", graph=graph, cost=cost, k=k, **options
             )
         )
+
+    def service_stats(self) -> ServiceStatsFrame:
+        """Server observability: scheduler counters plus per-worker rows
+        (queue depth, warm-session fingerprints, cache hit counts)."""
+        result = self.collect(ServiceRequest(op="stats"))
+        terminal = result.terminal
+        assert isinstance(terminal, ServiceStatsFrame)
+        return terminal
 
     def resume(
         self, token: bytes, *, k: int | None = None, **options: object

@@ -59,6 +59,7 @@ __all__ = [
     "ServiceRequest",
     "AnswerFrame",
     "StatsFrame",
+    "ServiceStatsFrame",
     "DeadlineFrame",
     "CancelledFrame",
     "ErrorFrame",
@@ -78,11 +79,15 @@ __all__ = [
 
 PROTOCOL_VERSION = 1
 
-#: Valid job kinds a request frame may carry.
-OPS = ("enumerate", "top", "diverse", "decompositions")
+#: Valid job kinds a request frame may carry.  ``stats`` is the
+#: observability kind: no graph, no token, one terminal
+#: ``service-stats`` frame describing the scheduler and its workers.
+OPS = ("enumerate", "top", "diverse", "decompositions", "stats")
 
 #: Frame types that end a response stream.
-TERMINAL_TYPES = frozenset({"stats", "deadline", "cancelled", "error"})
+TERMINAL_TYPES = frozenset(
+    {"stats", "service-stats", "deadline", "cancelled", "error"}
+)
 
 
 class ProtocolError(ValueError):
@@ -348,7 +353,10 @@ class ServiceRequest:
             raise ProtocolError(
                 f"unknown op {self.op!r}; expected one of {', '.join(OPS)}"
             )
-        if (self.graph is None) == (self.token is None):
+        if self.op == "stats":
+            if self.graph is not None or self.token is not None:
+                raise ProtocolError("op 'stats' takes neither graph nor token")
+        elif (self.graph is None) == (self.token is None):
             raise ProtocolError("request needs exactly one of graph and token")
         if self.token is not None and self.op not in ("enumerate", "top"):
             raise ProtocolError(f"op {self.op!r} cannot resume from a token")
@@ -512,6 +520,21 @@ class StatsFrame:
 
 
 @dataclass(frozen=True)
+class ServiceStatsFrame:
+    """Terminal frame of a ``stats`` job: server observability.
+
+    ``scheduler`` holds the admission counters, ``workers`` one row per
+    backend worker (queue depth, warm-session fingerprints, cache hit
+    counts).
+    """
+
+    scheduler: dict
+    backend: str
+    workers: tuple
+    raw: bytes = field(compare=False, repr=False, default=b"")
+
+
+@dataclass(frozen=True)
 class DeadlineFrame:
     """Terminal frame of a job cut short by its deadline."""
 
@@ -588,6 +611,13 @@ def typed_frame(frame: dict, raw: bytes = b""):
                 preprocessed=frame["preprocessed"],
                 next_rank=frame.get("next_rank"),
                 checkpoint=_optional_token(frame),
+                raw=raw,
+            )
+        if frame_type == "service-stats":
+            return ServiceStatsFrame(
+                scheduler=frame["scheduler"],
+                backend=frame["backend"],
+                workers=tuple(frame["workers"]),
                 raw=raw,
             )
         if frame_type == "deadline":

@@ -31,14 +31,28 @@ many jobs run concurrently.  Sessions are shared across jobs (that is
 the point: one context build serves every client asking about the same
 graph); :class:`~repro.api.Session` is lock-protected for exactly this
 slice-reentrant use.
+
+*Where* a slice executes is pluggable (:class:`ExecutionBackend`):
+
+* :class:`InProcessBackend` (default) — slices run on this process's
+  executor threads over a shared per-kernel session pool.  All slices
+  contend on one GIL; this is the reference backend, kept as the
+  differential oracle.
+* ``backend="process"`` — slices are dispatched whole (one IPC round
+  trip per answer batch) to a pool of long-lived worker processes, each
+  owning warm kernel-keyed sessions, with graph-fingerprint affinity
+  routing and crash re-dispatch (:mod:`repro.service.workers`).  The
+  frames a job streams are bit-identical either way.
 """
 
 from __future__ import annotations
 
 import asyncio
 import itertools
+import os
 import threading
 import time
+from abc import ABC, abstractmethod
 from collections.abc import Callable
 from concurrent.futures import ThreadPoolExecutor
 
@@ -55,7 +69,13 @@ from .protocol import (
     verify_token,
 )
 
-__all__ = ["EnumerationScheduler", "ScheduledJob", "DEFAULT_SLICE_ANSWERS"]
+__all__ = [
+    "EnumerationScheduler",
+    "ExecutionBackend",
+    "InProcessBackend",
+    "ScheduledJob",
+    "DEFAULT_SLICE_ANSWERS",
+]
 
 #: Answers one slice may stream before yielding its worker slot.
 DEFAULT_SLICE_ANSWERS = 4
@@ -82,12 +102,35 @@ class ScheduledJob:
         self.status = "pending"  # -> running -> <terminal frame type>
         self.emitted = 0
         self._cancel = threading.Event()
+        self._cancel_callbacks: list[Callable[[], None]] = []
         self._task: asyncio.Task | None = None
 
     @property
     def cancelled(self) -> bool:
         """Whether a cancel was requested (not yet necessarily honored)."""
         return self._cancel.is_set()
+
+    def add_cancel_callback(self, callback: Callable[[], None]) -> None:
+        """Register a hook run when cancellation is requested.
+
+        Remote backends use this to forward the cancel to the worker
+        process holding the job, so the in-flight slice stops at its
+        next answer boundary instead of running to the slice cap.  A
+        callback registered after the cancel already happened fires
+        immediately.
+        """
+        self._cancel_callbacks.append(callback)
+        if self._cancel.is_set():
+            callback()
+
+    def request_cancel(self) -> None:
+        """Set the cancel flag and notify any registered backend hooks."""
+        self._cancel.set()
+        for callback in self._cancel_callbacks:
+            try:
+                callback()
+            except Exception:
+                pass  # a dead worker pipe must not break cancellation
 
     @property
     def finished(self) -> bool:
@@ -129,6 +172,11 @@ class _JobRunner:
         request: ServiceRequest,
         cancel: threading.Event,
         token_key: bytes,
+        *,
+        resume_payload: bytes | None = None,
+        base_emitted: int = 0,
+        skip_answers: int = 0,
+        deadline_override: float | None = None,
     ) -> None:
         self._session = session
         self._request = request
@@ -138,18 +186,43 @@ class _JobRunner:
         self._source = None  # the ranked stream powering ANY op (stats)
         self._iterator = None
         self._opened = False
-        self._emitted = 0
+        # Crash re-dispatch state (multi-process backend only): a trusted
+        # internal checkpoint to resume from, the answers already
+        # delivered before the crash (the counters continue there so
+        # k/answer-budget accounting survives re-dispatch), and — for
+        # ops without a pausable stream — how many deterministic answers
+        # to replay silently before streaming fresh ones.
+        self._resume_payload = resume_payload
+        self._emitted = base_emitted
+        self._skip = skip_answers
         self._started = time.perf_counter()
+        deadline = (
+            deadline_override
+            if deadline_override is not None
+            else request.deadline
+        )
         self._deadline_at = (
-            self._started + request.deadline
-            if request.deadline is not None
-            else None
+            self._started + deadline if deadline is not None else None
         )
 
     # -- opening -------------------------------------------------------
     def _open(self) -> None:
         request = self._request
-        if request.token is not None:
+        if self._resume_payload is not None:
+            # Internal re-dispatch after a worker crash: the payload is
+            # a checkpoint this service minted and held in memory, never
+            # wire input, so it loads without the HMAC gate.
+            try:
+                checkpoint = load_checkpoint(self._resume_payload)
+            except Exception as exc:  # server fault, not the client's
+                raise RuntimeError(
+                    f"internal re-dispatch checkpoint failed to load: {exc}"
+                ) from exc
+            stream = self._session.resume_stream(checkpoint)
+            self._stream = stream
+            self._source = stream
+            self._iterator = stream
+        elif request.token is not None:
             # Authenticate BEFORE deserializing: checkpoints are pickle
             # payloads, and unpickling unauthenticated network bytes
             # would be remote code execution.
@@ -307,6 +380,26 @@ class _JobRunner:
                     raise
                 except (ValueError, KeyError) as exc:
                     raise ProtocolError(str(exc)) from exc
+            while self._skip > 0:
+                # Crash replay for ops without a pausable stream: the
+                # enumeration is deterministic, so re-running it and
+                # discarding the answers the client already has restores
+                # the exact position.  An interruption mid-replay gets no
+                # resume token — a token minted here would sit *before*
+                # answers the client already received and replay them.
+                if self._interrupted():
+                    kind = "cancelled" if self._cancel.is_set() else "deadline"
+                    frames.append({"type": kind, "emitted": self._emitted,
+                                   "next_rank": None, "checkpoint": None})
+                    self.close()
+                    return frames, True
+                try:
+                    next(self._iterator)
+                except StopIteration:
+                    frames.append(self._stats_frame(drained=True))
+                    self.close()
+                    return frames, True
+                self._skip -= 1
             limit = self._request.result_limit
             for _ in range(max_answers):
                 if self._cancel.is_set():
@@ -358,6 +451,23 @@ class _JobRunner:
             self.close()
             raise
 
+    def internal_state(self) -> tuple[bytes | None, int]:
+        """``(checkpoint bytes, answers delivered)`` for crash re-dispatch.
+
+        Captured by the worker backend after every unfinished slice (the
+        protocol's *checkpoint frame*): pausable streams serialize their
+        frontier, so a re-dispatched job resumes exactly where the last
+        acknowledged slice ended; non-pausable ops return ``None`` and
+        are re-dispatched as a deterministic replay that skips the
+        delivered prefix.
+        """
+        if self._stream is not None:
+            # Serialized even when already exhausted: resuming an
+            # exhausted frontier yields the terminal stats frame, which
+            # is exactly what re-running the job from scratch must not do.
+            return self._stream.checkpoint().to_bytes(), self._emitted
+        return None, self._emitted
+
     def close(self) -> None:
         """Release the stream (idempotent)."""
         iterator, self._iterator = self._iterator, None
@@ -366,6 +476,92 @@ class _JobRunner:
             close = getattr(iterator, "close", None)
             if close is not None:
                 close()
+
+
+class ExecutionBackend(ABC):
+    """Where a job's slices execute.
+
+    The scheduler owns admission, fairness, frame queues and
+    cancellation; a backend owns the enumeration itself.  Its runners
+    expose the :class:`_JobRunner` surface — ``slice_(max_answers)``
+    returning ``(frames, finished)``, plus ``close()`` — and every
+    backend must produce bit-identical answer frames for the same
+    request (``tests/service/`` holds them to it).
+    """
+
+    #: Stable name reported by ``stats`` frames.
+    name = "abstract"
+
+    @abstractmethod
+    def create_runner(self, job: "ScheduledJob"):
+        """A fresh runner for one admitted job (cheap; no blocking work)."""
+
+    def worker_stats(self) -> list[dict]:
+        """Per-worker introspection rows for the ``stats`` job kind."""
+        return []
+
+    def close(self) -> None:
+        """Release worker resources (processes, sessions)."""
+
+
+class InProcessBackend(ExecutionBackend):
+    """Slices run on the scheduler's executor threads (the GIL-bound
+    reference backend, kept as the differential oracle).
+
+    Sessions are shared across jobs, one per kernel: every client asking
+    about the same graph reuses one context build and one prepared DP
+    table per cost.
+    """
+
+    name = "inprocess"
+
+    def __init__(
+        self,
+        token_key: bytes,
+        session_factory: Callable[[str], Session] | None = None,
+    ) -> None:
+        self._token_key = token_key
+        self._session_factory = session_factory or (
+            lambda kernel: Session(kernel=kernel)
+        )
+        self._sessions: dict[str, Session] = {}
+        self._lock = threading.Lock()
+
+    def session(self, kernel: str = "bitset") -> Session:
+        """The shared session serving jobs of ``kernel`` (built lazily)."""
+        with self._lock:
+            session = self._sessions.get(kernel)
+            if session is None:
+                session = self._session_factory(kernel)
+                self._sessions[kernel] = session
+            return session
+
+    def create_runner(self, job: "ScheduledJob") -> _JobRunner:
+        return _JobRunner(
+            self.session(job.request.kernel),
+            job.request,
+            job._cancel,
+            self._token_key,
+        )
+
+    def worker_stats(self) -> list[dict]:
+        with self._lock:
+            kernels = dict(self._sessions)
+        return [
+            {
+                "worker": 0,
+                "pid": os.getpid(),
+                "alive": True,
+                "active_jobs": None,  # jobs are not pinned in-process
+                "sessions": {
+                    kernel: {
+                        "cache": session.cache_info(),
+                        "warm": session.warm_fingerprints(),
+                    }
+                    for kernel, session in kernels.items()
+                },
+            }
+        ]
 
 
 class EnumerationScheduler:
@@ -396,6 +592,19 @@ class EnumerationScheduler:
         Builds the shared :class:`~repro.api.Session` for a kernel name;
         one session is created lazily per kernel and reused by every job
         requesting that kernel.  Defaults to ``Session(kernel=...)``.
+        In-process backend only (worker processes build their own
+        sessions).
+    backend:
+        Where slices execute: ``"inprocess"`` (default; the reference
+        backend and differential oracle), ``"process"`` (long-lived
+        worker processes with session affinity,
+        :class:`~repro.service.workers.ProcessWorkerBackend`), or a
+        ready :class:`ExecutionBackend` instance.
+    worker_processes:
+        Size of the worker-process pool for ``backend="process"``
+        (default: ``max_workers``).  The slot semaphore is widened to
+        cover every worker, so the pool is never starved by the slice
+        cap.
 
     The scheduler must be driven from one running asyncio event loop
     (:class:`asyncio.Queue` and the slot semaphore bind to it); the
@@ -410,6 +619,8 @@ class EnumerationScheduler:
         max_pending_frames: int = 64,
         token_key: bytes | None = None,
         session_factory: Callable[[str], Session] | None = None,
+        backend: "str | ExecutionBackend | None" = None,
+        worker_processes: int | None = None,
     ) -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -419,33 +630,71 @@ class EnumerationScheduler:
             raise ValueError(
                 f"max_pending_frames must be >= 1, got {max_pending_frames}"
             )
+        if worker_processes is not None and worker_processes < 1:
+            raise ValueError(
+                f"worker_processes must be >= 1, got {worker_processes}"
+            )
         self._slice_answers = slice_answers
         self._max_pending = max_pending_frames
         self._token_key = token_key if token_key is not None else new_token_key()
+        self._backend = self._make_backend(
+            backend, worker_processes or max_workers, session_factory
+        )
+        # One slot per concurrently running slice; with worker processes
+        # the slot count covers the whole pool so no worker idles for
+        # lack of a dispatching thread (+1 thread keeps the cheap
+        # ``stats`` job kind responsive under full load).
+        slots = max_workers
+        if isinstance(backend, str) and backend != "inprocess":
+            slots = max(max_workers, worker_processes or max_workers)
         self._executor = ThreadPoolExecutor(
-            max_workers=max_workers, thread_name_prefix="repro-service"
+            max_workers=slots + 1, thread_name_prefix="repro-service"
         )
-        self._slots = asyncio.Semaphore(max_workers)
-        self._session_factory = session_factory or (
-            lambda kernel: Session(kernel=kernel)
-        )
-        self._sessions: dict[str, Session] = {}
-        self._sessions_lock = threading.Lock()
+        self._slots = asyncio.Semaphore(slots)
         self._ids = itertools.count(1)
         self._jobs: dict[int, ScheduledJob] = {}
         self._admitted = 0
         self._completed = 0
         self._closed = False
 
+    def _make_backend(
+        self,
+        backend: "str | ExecutionBackend | None",
+        worker_processes: int,
+        session_factory: Callable[[str], Session] | None,
+    ) -> ExecutionBackend:
+        if isinstance(backend, ExecutionBackend):
+            return backend
+        if backend is None or backend in ("inprocess", "in-process", "thread"):
+            return InProcessBackend(self._token_key, session_factory)
+        if backend == "process":
+            from .workers import ProcessWorkerBackend
+
+            return ProcessWorkerBackend(
+                workers=worker_processes, token_key=self._token_key
+            )
+        raise ValueError(
+            f"unknown backend {backend!r}; expected 'inprocess' or 'process'"
+        )
+
     # -- sessions ------------------------------------------------------
+    @property
+    def backend(self) -> ExecutionBackend:
+        """The execution backend serving this scheduler's slices."""
+        return self._backend
+
     def session(self, kernel: str = "bitset") -> Session:
-        """The shared session serving jobs of ``kernel`` (built lazily)."""
-        with self._sessions_lock:
-            session = self._sessions.get(kernel)
-            if session is None:
-                session = self._session_factory(kernel)
-                self._sessions[kernel] = session
-            return session
+        """The shared in-process session for ``kernel``.
+
+        Only meaningful for the in-process backend (worker processes
+        own their sessions; inspect them through the ``stats`` job kind).
+        """
+        if not isinstance(self._backend, InProcessBackend):
+            raise RuntimeError(
+                "session() is an in-process-backend accessor; use the "
+                "'stats' job kind to inspect worker sessions"
+            )
+        return self._backend.session(kernel)
 
     # -- lifecycle -----------------------------------------------------
     async def submit(self, request: ServiceRequest) -> ScheduledJob:
@@ -460,13 +709,11 @@ class EnumerationScheduler:
 
     async def _run(self, job: ScheduledJob) -> None:
         job.status = "running"
-        runner = _JobRunner(
-            self.session(job.request.kernel),
-            job.request,
-            job._cancel,
-            self._token_key,
-        )
         loop = asyncio.get_running_loop()
+        if job.request.op == "stats":
+            await self._run_stats(job, loop)
+            return
+        runner = self._backend.create_runner(job)
         terminal = "error"
         try:
             while True:
@@ -502,6 +749,30 @@ class EnumerationScheduler:
             self._completed += 1
             self._jobs.pop(job.id, None)
 
+    async def _run_stats(self, job: ScheduledJob, loop) -> None:
+        """The ``stats`` job kind: one terminal ``service-stats`` frame.
+
+        Worker introspection may block on pipe round trips, so it runs
+        on the executor (never the event loop) — but outside the slot
+        semaphore: observability must answer even when every slice slot
+        is busy (the executor keeps a spare thread for exactly this).
+        """
+        terminal = "error"
+        try:
+            payload = await loop.run_in_executor(
+                self._executor, self.service_stats
+            )
+            terminal = "service-stats"
+            await job.frames.put({"type": "service-stats", **payload})
+        except Exception as exc:
+            await job.frames.put(
+                {"type": "error", "code": "internal", "message": str(exc)}
+            )
+        finally:
+            job.status = terminal
+            self._completed += 1
+            self._jobs.pop(job.id, None)
+
     def _slot(self):
         return self._slots
 
@@ -524,9 +795,11 @@ class EnumerationScheduler:
 
         The job's running slice notices at its next answer boundary,
         emits a terminal ``cancelled`` frame and releases the worker
-        slot; a job that already finished is unaffected.
+        slot; a job that already finished is unaffected.  Remote
+        backends additionally forward the cancel to the worker process
+        holding the job (via the job's registered cancel callback).
         """
-        job._cancel.set()
+        job.request_cancel()
 
     @property
     def active_jobs(self) -> int:
@@ -539,6 +812,20 @@ class EnumerationScheduler:
             "admitted": self._admitted,
             "completed": self._completed,
             "active": self.active_jobs,
+        }
+
+    def service_stats(self) -> dict:
+        """The full observability payload behind the ``stats`` job kind.
+
+        Scheduler counters plus per-worker introspection rows from the
+        backend (queue depth, warm-session fingerprints, cache hits).
+        May block on worker pipe round trips — call from an executor
+        thread, never the event loop (``_run_stats`` does).
+        """
+        return {
+            "scheduler": self.stats(),
+            "backend": self._backend.name,
+            "workers": self._backend.worker_stats(),
         }
 
     async def close(self) -> None:
@@ -566,3 +853,4 @@ class EnumerationScheduler:
                 except asyncio.CancelledError:
                     pass
         self._executor.shutdown(wait=True)
+        self._backend.close()

@@ -55,6 +55,11 @@ class EnumerationServer:
         default 16 MiB — far above any realistic request graph).  A
         frame beyond it is answered with an in-band ``error`` frame,
         not a dropped connection.
+    backend, worker_processes:
+        Passed to the built scheduler: ``backend="process"`` runs
+        slices on ``worker_processes`` long-lived worker processes with
+        session affinity (:mod:`repro.service.workers`); the default
+        stays in-process.
     """
 
     def __init__(
@@ -68,12 +73,16 @@ class EnumerationServer:
         max_pending_frames: int = 64,
         max_frame_bytes: int = 16 * 1024 * 1024,
         token_key: bytes | None = None,
+        backend: str | None = None,
+        worker_processes: int | None = None,
     ) -> None:
         self.scheduler = scheduler or EnumerationScheduler(
             max_workers=max_workers,
             slice_answers=slice_answers,
             max_pending_frames=max_pending_frames,
             token_key=token_key,
+            backend=backend,
+            worker_processes=worker_processes,
         )
         self._host = host
         self._port = port
@@ -306,6 +315,8 @@ def serve(
     max_workers: int = 2,
     slice_answers: int = DEFAULT_SLICE_ANSWERS,
     token_key: bytes | None = None,
+    backend: str | None = None,
+    worker_processes: int | None = None,
     on_bound=None,
     stop: "threading.Event | None" = None,
     announce=print,
@@ -325,6 +336,8 @@ def serve(
             max_workers=max_workers,
             slice_answers=slice_answers,
             token_key=token_key,
+            backend=backend,
+            worker_processes=worker_processes,
         )
         bound_host, bound_port = await server.start()
         announce(f"repro service listening on {bound_host}:{bound_port}")

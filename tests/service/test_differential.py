@@ -10,12 +10,21 @@ disconnect replayed from a previously held token.
 Bit-identity is checked at the byte level: the raw NDJSON lines the
 client read off the socket against
 :func:`repro.service.protocol.serialize_answers` over the serial run.
+
+The whole suite runs twice — once against the in-process backend (the
+oracle) and once against the multi-process worker backend — and adds a
+worker-crash scenario: a worker SIGKILLed mid-stream is respawned and
+the job replayed from its last acknowledged checkpoint, with the
+client-visible bytes still identical to an uninterrupted serial run.
 """
 
 from __future__ import annotations
 
 import itertools
+import os
+import signal
 import threading
+import time
 
 import pytest
 
@@ -66,11 +75,34 @@ def serial_lines(graph, cost, k, kernel):
     return serialize_answers(results)
 
 
-@pytest.fixture(scope="module")
-def server():
+#: Both execution backends must pass the identical differential suite:
+#: "inprocess" is the GIL-bound oracle, "process" the worker-pool tier.
+#: CI narrows the run to one backend per matrix leg via
+#: ``REPRO_SERVICE_BACKENDS`` (comma-separated).
+BACKENDS = [
+    tok.strip()
+    for tok in os.environ.get(
+        "REPRO_SERVICE_BACKENDS", "inprocess,process"
+    ).split(",")
+    if tok.strip()
+]
+
+needs_process_backend = pytest.mark.skipif(
+    "process" not in BACKENDS,
+    reason="worker-crash recovery exists only on the process backend",
+)
+
+
+@pytest.fixture(scope="module", params=BACKENDS)
+def server(request):
     # Two worker slots, small slices: with 8+ admitted jobs this forces
     # heavy interleaving — the adversarial regime for sequence mixing.
-    with ServerThread(max_workers=2, slice_answers=2) as handle:
+    with ServerThread(
+        max_workers=2,
+        slice_answers=2,
+        backend=request.param,
+        worker_processes=2,
+    ) as handle:
         yield handle
 
 
@@ -109,7 +141,8 @@ def test_concurrent_clients_bit_identical_to_serial(server):
         )
 
 
-def test_pause_resume_concatenation_bit_identical():
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_pause_resume_concatenation_bit_identical(backend):
     """Mid-stream in-band cancel, then resume on a NEW connection: the
     concatenated answer bytes equal one uninterrupted serial run.
 
@@ -124,7 +157,11 @@ def test_pause_resume_concatenation_bit_identical():
         (lambda: ring_of_cycles(2, 5), "fill", "bitset", 2),  # 25 answers
     ]
     with ServerThread(
-        max_workers=1, slice_answers=1, max_pending_frames=2
+        max_workers=1,
+        slice_answers=1,
+        max_pending_frames=2,
+        backend=backend,
+        worker_processes=1,
     ) as handle:
         for factory, cost, kernel, pause_after in cases:
             graph = factory()
@@ -219,3 +256,86 @@ def test_concurrent_pause_resume_storm(server):
     for name, factory, cost, kernel in specs:
         lines, count = outcomes[name]
         assert lines == serial_lines(factory(), cost, count, kernel)
+
+
+# ----------------------------------------------------------------------
+# Worker-crash recovery (process backend only)
+# ----------------------------------------------------------------------
+def _crash_server():
+    """One worker, one slot, tight backpressure: the SIGKILL below always
+    lands while the job is mid-stream, and the respawned seat must pick
+    the job back up from its last acknowledged checkpoint."""
+    return ServerThread(
+        max_workers=1,
+        slice_answers=1,
+        max_pending_frames=2,
+        backend="process",
+        worker_processes=1,
+    )
+
+
+@needs_process_backend
+def test_worker_crash_midstream_bit_identical():
+    """SIGKILL the only worker mid-enumeration: the job re-dispatches to
+    the respawned worker from the last acknowledged slice checkpoint and
+    the client's answer bytes stay identical to an uninterrupted serial
+    run — the crash is invisible on the wire."""
+    graph = ring_of_cycles(2, 5)  # 25 answers; the kill lands well inside
+    k = 12
+    with _crash_server() as handle:
+        client = ServiceClient(*handle.address, timeout=120.0)
+        pid = client.service_stats().workers[0]["pid"]
+        stream = client.open(
+            ServiceRequest(op="top", graph=graph, cost="fill", k=k)
+        )
+        lines: list[bytes] = []
+        killed = False
+        for frame in stream:
+            if isinstance(frame, AnswerFrame):
+                lines.append(frame.raw)
+                if len(lines) == 4 and not killed:
+                    os.kill(pid, signal.SIGKILL)
+                    killed = True
+        assert killed
+        assert lines == serial_lines(graph, "fill", k, "bitset"), (
+            "answer bytes diverged across the worker crash"
+        )
+        stats = client.service_stats()
+        assert stats.backend == "process"
+        assert any(row.get("respawns", 0) >= 1 for row in stats.workers), (
+            "the killed worker seat was never respawned"
+        )
+        assert any(row.get("alive") for row in stats.workers)
+
+
+@needs_process_backend
+def test_worker_crash_replay_only_op_bit_identical():
+    """Crash recovery for a non-pausable op (``diverse``): no checkpoint
+    exists, so the re-dispatched job deterministically replays from rank
+    0 and skips the answers the client already holds — the delivered
+    bytes still match an uninterrupted run of the same request."""
+    graph = ring_of_cycles(2, 5)
+    request = ServiceRequest(op="diverse", graph=graph, cost="fill", k=6)
+    with _crash_server() as handle:
+        client = ServiceClient(*handle.address, timeout=120.0)
+        expected = list(client.collect(request).answer_lines)
+        pid = client.service_stats().workers[0]["pid"]
+        stream = client.open(request)
+        lines: list[bytes] = []
+        killed = False
+        for frame in stream:
+            if isinstance(frame, AnswerFrame):
+                lines.append(frame.raw)
+                if len(lines) == 2 and not killed:
+                    os.kill(pid, signal.SIGKILL)
+                    killed = True
+        assert killed
+        assert lines == expected, (
+            "replayed diverse bytes diverged across the worker crash"
+        )
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            if handle.scheduler_stats()["active"] == 0:
+                break
+            time.sleep(0.02)
+        assert handle.scheduler_stats()["active"] == 0
