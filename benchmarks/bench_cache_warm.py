@@ -1,0 +1,93 @@
+"""Warm-start latency: a fresh process against a filled artifact cache.
+
+The persistent store (:mod:`repro.cache`) exists so a *new* process —
+a respawned worker, a restarted server, a CI leg — skips the expensive
+per-graph initialization (minimal separators, PMCs, full blocks) and
+the unconstrained DP by loading both from disk.  This benchmark
+quantifies the skip: for each instance it times a brand-new
+:class:`~repro.api.Session` serving ``top(k)``
+
+* ``cold`` — against an empty cache directory (build + publish), and
+* ``warm`` — against the directory the cold run just filled (all
+  artifacts come off disk; only Lawler–Murty expansion remains),
+
+and reports the per-request latency plus the cold/warm speedup.  Both
+legs must serve the identical ranked page — the same byte-identity gate
+CI enforces over the golden corpus.  Override the warm request count
+with ``REPRO_BENCH_CACHE_REQUESTS``.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import time
+
+from repro.api import Session
+from repro.graphs.generators import connected_erdos_renyi, ring_of_cycles
+from repro.bench.reporting import format_table, save_report
+
+
+def _serve_fresh(cache_dir, graph, cost, k):
+    """One cold-process request: fresh session, disk cache attached."""
+    started = time.perf_counter()
+    with Session(cache_dir=cache_dir) as session:
+        response = session.top(graph, cost, k=k)
+    elapsed = time.perf_counter() - started
+    signature = [
+        (r.rank, r.cost, frozenset(r.triangulation.bags))
+        for r in response.results
+    ]
+    return elapsed, signature
+
+
+def test_cache_warm_report(benchmark, smoke, tmp_path):
+    requests = 2 if smoke else int(os.environ.get("REPRO_BENCH_CACHE_REQUESTS", "5"))
+    k = 3 if smoke else 10
+    instances = [
+        ("gnp-n10-p0.35", connected_erdos_renyi(10, 0.35, seed=0)),
+        ("ring-of-c5", ring_of_cycles(2, 5)),
+    ]
+    if not smoke:
+        instances.append(("gnp-n12-p0.3", connected_erdos_renyi(12, 0.3, seed=6)))
+
+    def run():
+        rows = []
+        for name, graph in instances:
+            cache_dir = tmp_path / f"cache-{name}"
+            shutil.rmtree(cache_dir, ignore_errors=True)
+            cold_s, cold_sig = _serve_fresh(cache_dir, graph, "fill", k)
+            warm_times = []
+            for _ in range(requests):
+                warm_s, warm_sig = _serve_fresh(cache_dir, graph, "fill", k)
+                assert warm_sig == cold_sig, f"{name}: warm page diverged"
+                warm_times.append(warm_s)
+            warm_mean = sum(warm_times) / len(warm_times)
+            warm_best = min(warm_times)
+            rows.append(
+                {
+                    "graph": name,
+                    "k": k,
+                    "cold_ms": round(cold_s * 1e3, 3),
+                    "warm_ms": round(warm_mean * 1e3, 3),
+                    "warm_best_ms": round(warm_best * 1e3, 3),
+                    "speedup": round(cold_s / warm_mean, 2) if warm_mean else 0.0,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_table(
+        rows, title=f"Warm start from persistent cache (top-{k}, fill)"
+    )
+    print("\n" + text)
+    save_report("cache_warm", rows, text)
+
+    if smoke:
+        return  # smoke mode: no timing assertions
+    # Loading the context + prepared DP table off disk must beat
+    # rebuilding them, on every instance.  The best warm request is the
+    # stable statistic (a single stray scheduler stall in the warm loop
+    # must not fail a re-measure).
+    for row in rows:
+        assert row["warm_best_ms"] < row["cold_ms"], row

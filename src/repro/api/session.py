@@ -152,6 +152,20 @@ class Session:
         pipeline otherwise — both routes rank over the full graph and
         agree on every cost and every answer set.  ``False`` disables
         it session-wide.
+    cache_dir:
+        Directory of a persistent :class:`~repro.cache.store
+        .ArtifactStore`.  When set (or when the ``REPRO_CACHE_DIR``
+        environment variable is), every in-memory cache miss — context
+        build, prepared DP table, preprocessing plan — first consults
+        the store, and every fill publishes back, so the expensive
+        initialization survives the process and is shared with every
+        other session on the same directory.  Answers served from the
+        store are byte-identical to cold builds (CI proves this
+        differentially on the golden corpus).
+    store:
+        An already-open :class:`~repro.cache.store.ArtifactStore` to
+        attach instead of opening one from ``cache_dir``; the caller
+        keeps ownership (``close()`` will not close it).
     """
 
     def __init__(
@@ -160,6 +174,8 @@ class Session:
         engine: "object | None" = None,
         kernel: str = "bitset",
         preprocess: bool = True,
+        cache_dir: "str | None" = None,
+        store: "object | None" = None,
     ) -> None:
         from ..graphs.bitgraph import validate_kernel
 
@@ -169,6 +185,14 @@ class Session:
         self._engine = engine
         self._kernel = validate_kernel(kernel)
         self._preprocess = bool(preprocess)
+        if store is not None:
+            self._store = store
+            self._owns_store = False
+        else:
+            from ..cache.store import open_store
+
+            self._store = open_store(cache_dir)
+            self._owns_store = self._store is not None
         self._contexts: OrderedDict[tuple[str, int | None], _CacheEntry] = (
             OrderedDict()
         )
@@ -233,15 +257,19 @@ class Session:
         if prebuilt is not None:
             context = prebuilt
         else:
-            # Build outside the lock: initialization is the slow part.
-            # Snapshot the graph first — the cache key is content-based,
-            # so a caller mutating their graph object afterwards must not
-            # be able to poison the entry it was fingerprinted under.
-            context = TriangulationContext.build(
-                graph.copy(), width_bound=width_bound, kernel=self._kernel
-            )
-            with self._lock:
-                self._builds += 1
+            context = self._stored_context(fp, width_bound)
+            if context is None:
+                # Build outside the lock: initialization is the slow
+                # part.  Snapshot the graph first — the cache key is
+                # content-based, so a caller mutating their graph object
+                # afterwards must not be able to poison the entry it was
+                # fingerprinted under.
+                context = TriangulationContext.build(
+                    graph.copy(), width_bound=width_bound, kernel=self._kernel
+                )
+                with self._lock:
+                    self._builds += 1
+                self._publish_context(fp, context)
         entry = _CacheEntry(context)
         with self._lock:
             existing = self._contexts.get(key)
@@ -255,8 +283,42 @@ class Session:
                 self._contexts.popitem(last=False)
         return entry, fp, False
 
+    def _stored_context(
+        self, fp: str, width_bound: int | None
+    ) -> TriangulationContext | None:
+        """This session's kernel-keyed context from the disk store, if any."""
+        if self._store is None:
+            return None
+        from ..cache.store import context_key
+
+        obj = self._store.get(
+            "context", context_key(fp, width_bound, self._kernel)
+        )
+        if (
+            isinstance(obj, TriangulationContext)
+            and obj.kernel == self._kernel
+            and obj.width_bound == width_bound
+        ):
+            return obj
+        return None
+
+    def _publish_context(self, fp: str, context: TriangulationContext) -> None:
+        if self._store is None:
+            return
+        from ..cache.store import context_key
+
+        self._store.put(
+            "context",
+            context_key(fp, context.width_bound, context.kernel),
+            context,
+        )
+
     def _prepared(
-        self, entry: _CacheEntry, spec: str | None, cost: object
+        self,
+        entry: _CacheEntry,
+        spec: str | None,
+        cost: object,
+        fingerprint: str | None = None,
     ) -> tuple | None:
         """Cached ``(first, unconstrained table)`` for a registry cost.
 
@@ -264,16 +326,37 @@ class Session:
         opens streams from several executor threads at once): the slow
         DP runs outside the lock, and when two threads race on the same
         spec the first insert wins, so every stream sees one canonical
-        table.
+        table.  With a disk store attached (and a fingerprint to key
+        by), a memory miss consults the store before running the DP and
+        publishes the pair it computed.
         """
         if spec is None:
             return None
         with self._lock:
             pair = entry.prepared.get(spec)
-        if pair is None:
+        if pair is not None:
+            return pair
+        key = None
+        computed = None
+        if self._store is not None and fingerprint is not None:
+            from ..cache.store import prepared_key
+
+            key = prepared_key(
+                fingerprint,
+                spec,
+                entry.context.width_bound,
+                entry.context.kernel,
+            )
+            obj = self._store.get("prepared", key)
+            if isinstance(obj, tuple) and len(obj) == 2:
+                computed = obj
+        loaded = computed is not None
+        if computed is None:
             computed = min_triangulation_and_table(entry.context, cost)
-            with self._lock:
-                pair = entry.prepared.setdefault(spec, computed)
+        with self._lock:
+            pair = entry.prepared.setdefault(spec, computed)
+        if key is not None and not loaded and pair is computed:
+            self._store.put("prepared", key, computed)
         return pair
 
     @property
@@ -286,10 +369,21 @@ class Session:
         """This session's default for the per-request ``preprocess`` flag."""
         return self._preprocess
 
-    def cache_info(self) -> dict[str, int]:
-        """Context-cache counters (hits/misses/builds/current size)."""
+    @property
+    def store(self):
+        """The attached :class:`~repro.cache.store.ArtifactStore`, or
+        ``None`` when this session runs memory-only."""
+        return self._store
+
+    def cache_info(self) -> dict:
+        """Context-cache counters (hits/misses/builds/current size).
+
+        With a disk store attached, the ``"disk"`` key carries the
+        store's :meth:`~repro.cache.store.ArtifactStore.stats` snapshot
+        (per-kind hit/miss/eviction/byte counters).
+        """
         with self._lock:
-            return {
+            info: dict = {
                 "contexts": len(self._contexts),
                 "max_contexts": self._max_contexts,
                 "hits": self._hits,
@@ -300,6 +394,9 @@ class Session:
                     len(entry.prepared) for entry in self._contexts.values()
                 ),
             }
+        if self._store is not None:
+            info["disk"] = self._store.stats()
+        return info
 
     def warm_fingerprints(self) -> list[str]:
         """Fingerprints of the contexts currently warm, coldest first.
@@ -313,10 +410,24 @@ class Session:
             return [fp for fp, _width_bound in self._contexts]
 
     def close(self) -> None:
-        """Drop every cached context, prepared table and preprocess plan."""
+        """Drop every cached context, prepared table and preprocess plan.
+
+        A store this session opened itself (via ``cache_dir`` or the
+        environment) is closed too; a caller-supplied ``store=`` stays
+        open — the caller owns it.
+        """
         with self._lock:
             self._contexts.clear()
             self._plans.clear()
+        if self._owns_store and self._store is not None:
+            self._store.close()
+            self._store = None
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def plan_for(
         self, graph: Graph, *, duplicate_sensitive: bool = False
@@ -336,15 +447,36 @@ class Session:
                 self._plans.move_to_end(key)
                 return plan
         # Build outside the lock; losing a race just wastes one build.
-        plan = PreprocessPlan.build(
-            graph, duplicate_sensitive=duplicate_sensitive
-        )
+        plan = self._stored_plan(fp, duplicate_sensitive)
+        if plan is None:
+            plan = PreprocessPlan.build(
+                graph, duplicate_sensitive=duplicate_sensitive
+            )
+            self._publish_plan(fp, duplicate_sensitive, plan)
         with self._lock:
             self._plans[key] = plan
             self._plans.move_to_end(key)
             while len(self._plans) > self._max_contexts:
                 self._plans.popitem(last=False)
         return plan
+
+    def _stored_plan(
+        self, fp: str, duplicate_sensitive: bool
+    ) -> PreprocessPlan | None:
+        if self._store is None:
+            return None
+        from ..cache.store import plan_key
+
+        obj = self._store.get("plan", plan_key(fp, duplicate_sensitive))
+        return obj if isinstance(obj, PreprocessPlan) else None
+
+    def _publish_plan(
+        self, fp: str, duplicate_sensitive: bool, plan: PreprocessPlan
+    ) -> None:
+        if self._store is not None:
+            from ..cache.store import plan_key
+
+            self._store.put("plan", plan_key(fp, duplicate_sensitive), plan)
 
     def _engine_spec(self, engine: "object | None") -> "object | None":
         return engine if engine is not None else self._engine
@@ -443,7 +575,7 @@ class Session:
             )
         entry, fp, cached = self._entry_for(graph, width_bound, prebuilt=context)
         cost_obj = resolve_cost(cost, entry.context.graph)
-        prepared = self._prepared(entry, spec, cost_obj)
+        prepared = self._prepared(entry, spec, cost_obj, fp)
         stream = RankedStream.start(
             entry.context,
             cost_obj,
@@ -477,7 +609,7 @@ class Session:
             cached_flags.append(cached)
             init_seconds[0] += entry.context.init_seconds
             cost_obj = resolve_cost(spec, entry.context.graph)
-            prepared = self._prepared(entry, spec, cost_obj)
+            prepared = self._prepared(entry, spec, cost_obj, fp)
             return RankedStream.start(
                 entry.context,
                 cost_obj,
@@ -891,13 +1023,13 @@ class Session:
         init_seconds = [0.0]
 
         def resume_piece(atom_graph: Graph, piece_checkpoint):
-            entry, _fp, cached = self._entry_for(
+            entry, fp, cached = self._entry_for(
                 atom_graph, checkpoint.width_bound
             )
             cached_flags.append(cached)
             init_seconds[0] += entry.context.init_seconds
             cost_obj = resolve_cost(spec, entry.context.graph)
-            prepared = self._prepared(entry, spec, cost_obj)
+            prepared = self._prepared(entry, spec, cost_obj, fp)
             return RankedStream.from_checkpoint(
                 entry.context,
                 cost_obj,
@@ -938,7 +1070,7 @@ class Session:
                 "checkpoint fingerprint does not match its embedded graph; "
                 "the token is corrupted"
             )
-        entry, _fp, cached = self._entry_for(graph, checkpoint.width_bound)
+        entry, fp, cached = self._entry_for(graph, checkpoint.width_bound)
         spec: str | None
         if cost is None:
             spec = checkpoint.cost_spec
@@ -960,7 +1092,7 @@ class Session:
                     f"but resume requested {spec!r}"
                 )
             cost_obj = resolve_cost(cost, entry.context.graph)
-        prepared = self._prepared(entry, spec, cost_obj)
+        prepared = self._prepared(entry, spec, cost_obj, fp)
         stream = RankedStream.from_checkpoint(
             entry.context,
             cost_obj,

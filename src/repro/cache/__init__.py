@@ -1,0 +1,66 @@
+"""``repro.cache`` — the persistent on-disk artifact store.
+
+Every expensive artifact of the reproduction is a deterministic function
+of content-addressed inputs: a
+:class:`~repro.core.context.TriangulationContext` of the graph
+fingerprint (plus width bound and kernel), a prepared DP table of the
+context and a cost spec, a :class:`~repro.preprocess.recompose
+.PreprocessPlan` of the graph and a duplicate-sensitivity flag.  The
+session layer already caches all three in memory — this package makes
+those caches survive the process: a single sqlite-backed
+:class:`~repro.cache.store.ArtifactStore` shared by every session (and
+every ``repro serve`` worker process) pointed at the same directory, so
+a restarted fleet pays each enumeration's initialization once,
+fleet-wide.
+
+Wiring:
+
+* ``Session(cache_dir=...)`` or ``Session(store=...)`` attaches a store;
+  with neither, the ``REPRO_CACHE_DIR`` environment variable is
+  consulted, so an exported variable warms every session in the fleet
+  (CLI runs, service workers, benchmarks) without code changes.
+* ``repro serve --cache-dir`` / ``EnumerationScheduler(cache_dir=...)``
+  hand one directory to every worker seat.
+* ``repro cache stats | warm | clear`` is the operational surface.
+
+Correctness is differential: answers served from a warm store are
+byte-identical to cold runs (the golden-drift CI job runs the corpus
+cold and warm against one cache directory and requires identity).  A
+stale, corrupted or foreign-schema entry is never trusted: every blob
+embeds a schema tag and a checksum, and anything that fails validation
+is treated as a miss and evicted — never a crash (see
+:mod:`repro.cache.store`).
+"""
+
+from __future__ import annotations
+
+from .store import (
+    ArtifactStore,
+    CacheIntegrityWarning,
+    DEFAULT_MAX_BYTES,
+    ENV_CACHE_DIR,
+    ENV_MAX_BYTES,
+    context_key,
+    default_schema_tag,
+    open_store,
+    plan_key,
+    prepared_key,
+    resolve_cache_dir,
+)
+from .warm import WarmReport, warm_graphs
+
+__all__ = [
+    "ArtifactStore",
+    "CacheIntegrityWarning",
+    "DEFAULT_MAX_BYTES",
+    "ENV_CACHE_DIR",
+    "ENV_MAX_BYTES",
+    "WarmReport",
+    "context_key",
+    "default_schema_tag",
+    "open_store",
+    "plan_key",
+    "prepared_key",
+    "resolve_cache_dir",
+    "warm_graphs",
+]

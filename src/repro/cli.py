@@ -8,6 +8,8 @@ Usage examples::
     python -m repro serve --port 8737 --backend process --workers 4
     python -m repro submit graph.gr --cost fill --top 5 --port 8737
     python -m repro submit --stats --port 8737
+    python -m repro cache warm graph.gr --cache-dir /var/cache/repro
+    python -m repro cache stats --cache-dir /var/cache/repro
     python -m repro datasets
     python -m repro experiments figure5 table2
 
@@ -48,6 +50,17 @@ def _add_kernel_option(parser: argparse.ArgumentParser) -> None:
         help="graph kernel for the enumeration hot path: bitset = dense "
         "bitmask kernel (default), sets = label-level reference; the "
         "output is identical either way",
+    )
+
+
+def _add_cache_dir_option(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--cache-dir`` flag of cache-touching subcommands."""
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="directory of the persistent artifact cache (defaults to "
+        "the REPRO_CACHE_DIR environment variable)",
     )
 
 
@@ -190,6 +203,7 @@ def build_parser() -> argparse.ArgumentParser:
         "default each server uses a random per-process key, so tokens "
         "only resume against the instance that minted them",
     )
+    _add_cache_dir_option(p_serve)
 
     p_sub = sub.add_parser(
         "submit", help="submit one job to a running enumeration service"
@@ -243,6 +257,48 @@ def build_parser() -> argparse.ArgumentParser:
         "scheduler counters plus per-worker queue depth, warm-session "
         "fingerprints and cache hit counts",
     )
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="inspect and manage the persistent on-disk artifact cache",
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    c_stats = cache_sub.add_parser(
+        "stats", help="entry counts, sizes and per-kind counters"
+    )
+    _add_cache_dir_option(c_stats)
+    c_warm = cache_sub.add_parser(
+        "warm",
+        help="pre-populate the cache from a graph list so later sessions "
+        "and service workers start warm",
+    )
+    c_warm.add_argument(
+        "graphs", nargs="+", metavar="GRAPH",
+        help="paths to .gr or .col files",
+    )
+    c_warm.add_argument(
+        "--cost",
+        action="append",
+        choices=available_costs(),
+        default=None,
+        metavar="COST",
+        help="cost spec to warm the prepared DP table for (repeatable; "
+        "default: width and fill)",
+    )
+    c_warm.add_argument(
+        "--width-bound", type=int, default=None,
+        help="warm the width-bounded (MinTriangB) context instead",
+    )
+    _add_kernel_option(c_warm)
+    _add_cache_dir_option(c_warm)
+    c_clear = cache_sub.add_parser("clear", help="delete cached entries")
+    c_clear.add_argument(
+        "--kind",
+        choices=("context", "prepared", "plan"),
+        default=None,
+        help="only drop one artifact kind (default: everything)",
+    )
+    _add_cache_dir_option(c_clear)
 
     sub.add_parser("datasets", help="list the built-in dataset families")
 
@@ -373,6 +429,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         token_key=token_key,
         backend=args.backend,
         worker_processes=workers if args.backend == "process" else None,
+        cache_dir=args.cache_dir,
     )
     return 0
 
@@ -526,6 +583,83 @@ def _cmd_submit_stats(args: argparse.Namespace) -> int:
             )
             for fp in warm:
                 print(f"    warm {fp[:16]}…")
+    disk = getattr(frame, "cache", None) or {}
+    if disk.get("enabled"):
+        print(f"disk cache: {disk.get('path')}")
+        for kind, c in sorted((disk.get("kinds") or {}).items()):
+            print(
+                f"  {kind}: hits={c['hits']} misses={c['misses']} "
+                f"stores={c['stores']} evictions={c['evictions']} "
+                f"entries={c['entries']} bytes={c['bytes']}"
+            )
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """``repro cache stats|warm|clear``: the store's operational surface."""
+    from .cache import ENV_CACHE_DIR, open_store, resolve_cache_dir
+
+    if resolve_cache_dir(args.cache_dir) is None:
+        print(
+            "error: no cache directory; pass --cache-dir or set "
+            f"{ENV_CACHE_DIR}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.cache_command == "stats":
+        store = open_store(args.cache_dir)
+        try:
+            stats = store.stats()
+        finally:
+            store.close()
+        print(
+            f"cache {stats['path']}: {stats['entries']} entries, "
+            f"{stats['total_bytes']} bytes (cap {stats['max_bytes']})"
+        )
+        print(f"schema tag: {stats['schema_tag']}")
+        for kind, c in sorted(stats["kinds"].items()):
+            print(
+                f"  {kind}: entries={c['entries']} bytes={c['bytes']} "
+                f"hits={c['hits']} misses={c['misses']} "
+                f"evictions={c['evictions']} corrupt={c['corrupt']}"
+            )
+        return 0
+    if args.cache_command == "clear":
+        store = open_store(args.cache_dir)
+        try:
+            dropped = store.clear(args.kind)
+        finally:
+            store.close()
+        what = f"{args.kind} entries" if args.kind else "entries"
+        print(f"cleared {dropped} {what}")
+        return 0
+    # warm
+    from .cache import warm_graphs
+
+    costs = tuple(args.cost) if args.cost else ("width", "fill")
+    try:
+        report = warm_graphs(
+            args.graphs,
+            costs=costs,
+            cache_dir=args.cache_dir,
+            kernel=args.kernel,
+            width_bound=args.width_bound,
+            announce=print,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    stats = report.store
+    print(
+        f"cache {stats['path']}: {stats['entries']} entries, "
+        f"{stats['total_bytes']} bytes"
+    )
+    if not report.ok:
+        print(
+            f"error: {len(report.errors)} graph/cost pairs failed to warm",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -625,6 +759,7 @@ _COMMANDS = {
     "enumerate": _cmd_enumerate,
     "serve": _cmd_serve,
     "submit": _cmd_submit,
+    "cache": _cmd_cache,
     "decompose": _cmd_decompose,
     "validate": _cmd_validate,
     "datasets": _cmd_datasets,

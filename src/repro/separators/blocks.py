@@ -48,6 +48,15 @@ class Block:
     def __hash__(self) -> int:
         return self._hash  # type: ignore[attr-defined]
 
+    def __reduce__(self):
+        # Rebuild through __init__ on unpickling: the cached hash is
+        # PYTHONHASHSEED-dependent (frozensets of labels), so a value
+        # pickled in one process is wrong in every other — it must be
+        # recomputed under the reading interpreter's seed, or the block
+        # silently misses as a dict key (persistent artifact cache,
+        # cross-process checkpoints).
+        return (Block, (self.separator, self.component))
+
     def __eq__(self, other: object) -> bool:
         if self is other:
             return True

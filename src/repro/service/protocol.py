@@ -525,12 +525,16 @@ class ServiceStatsFrame:
 
     ``scheduler`` holds the admission counters, ``workers`` one row per
     backend worker (queue depth, warm-session fingerprints, cache hit
-    counts).
+    counts), and ``cache`` the fleet-aggregated disk-cache view —
+    ``{"enabled", "path", "kinds": {kind: {hits, misses, stores,
+    evictions, corrupt, entries, bytes}}}`` — empty when the server runs
+    without a persistent store.
     """
 
     scheduler: dict
     backend: str
     workers: tuple
+    cache: dict = field(default_factory=dict)
     raw: bytes = field(compare=False, repr=False, default=b"")
 
 
@@ -618,6 +622,7 @@ def typed_frame(frame: dict, raw: bytes = b""):
                 scheduler=frame["scheduler"],
                 backend=frame["backend"],
                 workers=tuple(frame["workers"]),
+                cache=frame.get("cache") or {},
                 raw=raw,
             )
         if frame_type == "deadline":

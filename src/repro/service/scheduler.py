@@ -75,6 +75,7 @@ __all__ = [
     "InProcessBackend",
     "ScheduledJob",
     "DEFAULT_SLICE_ANSWERS",
+    "aggregate_disk_cache",
 ]
 
 #: Answers one slice may stream before yielding its worker slot.
@@ -519,10 +520,11 @@ class InProcessBackend(ExecutionBackend):
         self,
         token_key: bytes,
         session_factory: Callable[[str], Session] | None = None,
+        cache_dir: "str | None" = None,
     ) -> None:
         self._token_key = token_key
         self._session_factory = session_factory or (
-            lambda kernel: Session(kernel=kernel)
+            lambda kernel: Session(kernel=kernel, cache_dir=cache_dir)
         )
         self._sessions: dict[str, Session] = {}
         self._lock = threading.Lock()
@@ -562,6 +564,51 @@ class InProcessBackend(ExecutionBackend):
                 },
             }
         ]
+
+    def close(self) -> None:
+        with self._lock:
+            sessions = list(self._sessions.values())
+            self._sessions.clear()
+        for session in sessions:
+            session.close()
+
+
+def aggregate_disk_cache(workers: list[dict]) -> dict:
+    """Fold per-worker disk-cache stats into one fleet-level view.
+
+    The session counters (hits/misses/stores/evictions/corrupt) are per
+    store handle, so they sum; ``entries``/``bytes`` describe the one
+    shared database every handle points at, so the freshest view wins
+    (max) instead of double-counting.
+    """
+    kinds: dict[str, dict[str, int]] = {}
+    enabled = False
+    path: str | None = None
+    for row in workers:
+        for sess in (row.get("sessions") or {}).values():
+            disk = (sess.get("cache") or {}).get("disk")
+            if not disk:
+                continue
+            enabled = True
+            path = disk.get("path", path)
+            for kind, counters in (disk.get("kinds") or {}).items():
+                agg = kinds.setdefault(
+                    kind,
+                    {
+                        "hits": 0,
+                        "misses": 0,
+                        "stores": 0,
+                        "evictions": 0,
+                        "corrupt": 0,
+                        "entries": 0,
+                        "bytes": 0,
+                    },
+                )
+                for name in ("hits", "misses", "stores", "evictions", "corrupt"):
+                    agg[name] += int(counters.get(name, 0))
+                for name in ("entries", "bytes"):
+                    agg[name] = max(agg[name], int(counters.get(name, 0)))
+    return {"enabled": enabled, "path": path, "kinds": kinds}
 
 
 class EnumerationScheduler:
@@ -605,6 +652,14 @@ class EnumerationScheduler:
         (default: ``max_workers``).  The slot semaphore is widened to
         cover every worker, so the pool is never starved by the slice
         cap.
+    cache_dir:
+        Directory of the persistent artifact store every backend
+        session attaches to (:mod:`repro.cache`): the in-process
+        backend's shared sessions and every worker-process seat point
+        at the same directory, so one context build or DP fill serves
+        the whole fleet and survives restarts.  ``None`` defers to the
+        ``REPRO_CACHE_DIR`` environment variable (no store when that is
+        unset too).
 
     The scheduler must be driven from one running asyncio event loop
     (:class:`asyncio.Queue` and the slot semaphore bind to it); the
@@ -621,6 +676,7 @@ class EnumerationScheduler:
         session_factory: Callable[[str], Session] | None = None,
         backend: "str | ExecutionBackend | None" = None,
         worker_processes: int | None = None,
+        cache_dir: "str | None" = None,
     ) -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -637,6 +693,7 @@ class EnumerationScheduler:
         self._slice_answers = slice_answers
         self._max_pending = max_pending_frames
         self._token_key = token_key if token_key is not None else new_token_key()
+        self._cache_dir = cache_dir
         self._backend = self._make_backend(
             backend, worker_processes or max_workers, session_factory
         )
@@ -666,12 +723,16 @@ class EnumerationScheduler:
         if isinstance(backend, ExecutionBackend):
             return backend
         if backend is None or backend in ("inprocess", "in-process", "thread"):
-            return InProcessBackend(self._token_key, session_factory)
+            return InProcessBackend(
+                self._token_key, session_factory, cache_dir=self._cache_dir
+            )
         if backend == "process":
             from .workers import ProcessWorkerBackend
 
             return ProcessWorkerBackend(
-                workers=worker_processes, token_key=self._token_key
+                workers=worker_processes,
+                token_key=self._token_key,
+                cache_dir=self._cache_dir,
             )
         raise ValueError(
             f"unknown backend {backend!r}; expected 'inprocess' or 'process'"
@@ -822,10 +883,12 @@ class EnumerationScheduler:
         May block on worker pipe round trips — call from an executor
         thread, never the event loop (``_run_stats`` does).
         """
+        workers = self._backend.worker_stats()
         return {
             "scheduler": self.stats(),
             "backend": self._backend.name,
-            "workers": self._backend.worker_stats(),
+            "workers": workers,
+            "cache": aggregate_disk_cache(workers),
         }
 
     async def close(self) -> None:

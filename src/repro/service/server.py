@@ -60,6 +60,11 @@ class EnumerationServer:
         slices on ``worker_processes`` long-lived worker processes with
         session affinity (:mod:`repro.service.workers`); the default
         stays in-process.
+    cache_dir:
+        Passed to the built scheduler: the persistent artifact-store
+        directory (:mod:`repro.cache`) shared by every backend session,
+        so warm state survives server restarts.  ``None`` defers to
+        ``REPRO_CACHE_DIR``.
     """
 
     def __init__(
@@ -75,6 +80,7 @@ class EnumerationServer:
         token_key: bytes | None = None,
         backend: str | None = None,
         worker_processes: int | None = None,
+        cache_dir: str | None = None,
     ) -> None:
         self.scheduler = scheduler or EnumerationScheduler(
             max_workers=max_workers,
@@ -83,6 +89,7 @@ class EnumerationServer:
             token_key=token_key,
             backend=backend,
             worker_processes=worker_processes,
+            cache_dir=cache_dir,
         )
         self._host = host
         self._port = port
@@ -317,6 +324,7 @@ def serve(
     token_key: bytes | None = None,
     backend: str | None = None,
     worker_processes: int | None = None,
+    cache_dir: str | None = None,
     on_bound=None,
     stop: "threading.Event | None" = None,
     announce=print,
@@ -338,6 +346,7 @@ def serve(
             token_key=token_key,
             backend=backend,
             worker_processes=worker_processes,
+            cache_dir=cache_dir,
         )
         bound_host, bound_port = await server.start()
         announce(f"repro service listening on {bound_host}:{bound_port}")

@@ -89,7 +89,9 @@ DEFAULT_MAX_REDISPATCH = 3
 # ----------------------------------------------------------------------
 # Worker process side
 # ----------------------------------------------------------------------
-def _worker_main(conn, token_key: bytes, index: int) -> None:
+def _worker_main(
+    conn, token_key: bytes, index: int, cache_dir: "str | None" = None
+) -> None:
     """One worker process: warm sessions, a slice loop, a cancel reader.
 
     The reader thread owns ``conn.recv``: it turns ``cancel`` messages
@@ -140,7 +142,12 @@ def _worker_main(conn, token_key: bytes, index: int) -> None:
     def session_for(kernel: str) -> Session:
         session = sessions.get(kernel)
         if session is None:
-            session = sessions[kernel] = Session(kernel=kernel)
+            # Every seat points at the same cache_dir, so one worker's
+            # context build or DP fill warms the whole pool (and the
+            # next server pointed at the directory).
+            session = sessions[kernel] = Session(
+                kernel=kernel, cache_dir=cache_dir
+            )
         return session
 
     def drop(job_id: int) -> None:
@@ -335,11 +342,13 @@ class WorkerPool:
         workers: int,
         token_key: bytes,
         spill_threshold: int = DEFAULT_SPILL_THRESHOLD,
+        cache_dir: "str | None" = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self._token_key = token_key
         self._spill = spill_threshold
+        self._cache_dir = cache_dir
         self._ctx = multiprocessing.get_context("spawn")
         self._lock = threading.Lock()
         self._respawns = 0
@@ -350,7 +359,7 @@ class WorkerPool:
         parent_conn, child_conn = self._ctx.Pipe()
         process = self._ctx.Process(
             target=_worker_main,
-            args=(child_conn, self._token_key, index),
+            args=(child_conn, self._token_key, index, self._cache_dir),
             name=f"repro-worker-{index}",
             daemon=True,
         )
@@ -636,6 +645,11 @@ class ProcessWorkerBackend(ExecutionBackend):
         worker.
     max_redispatch:
         Worker crashes tolerated per job before it errors out.
+    cache_dir:
+        Persistent artifact-store directory shared by every seat's
+        sessions (:mod:`repro.cache`); ``None`` defers to the
+        ``REPRO_CACHE_DIR`` environment variable, which spawn-started
+        workers inherit.
     """
 
     name = "process"
@@ -646,13 +660,17 @@ class ProcessWorkerBackend(ExecutionBackend):
         token_key: bytes | None = None,
         spill_threshold: int = DEFAULT_SPILL_THRESHOLD,
         max_redispatch: int = DEFAULT_MAX_REDISPATCH,
+        cache_dir: "str | None" = None,
     ) -> None:
         if workers is None:
             workers = max(os.cpu_count() or 1, 2)
         self._token_key = token_key if token_key is not None else new_token_key()
         self._max_redispatch = max_redispatch
         self.pool = WorkerPool(
-            workers, self._token_key, spill_threshold=spill_threshold
+            workers,
+            self._token_key,
+            spill_threshold=spill_threshold,
+            cache_dir=cache_dir,
         )
 
     def create_runner(self, job: ScheduledJob) -> _RemoteRunner:

@@ -1,0 +1,19 @@
+"""Environment isolation for the cache suite.
+
+These tests assert exact hit/miss/store counters against directories
+they control; a ``REPRO_CACHE_DIR`` exported in the developer's shell
+(or a CI job) would silently attach every plain ``Session()`` to a
+shared store and skew them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import ENV_CACHE_DIR, ENV_MAX_BYTES
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache_env(monkeypatch):
+    monkeypatch.delenv(ENV_CACHE_DIR, raising=False)
+    monkeypatch.delenv(ENV_MAX_BYTES, raising=False)

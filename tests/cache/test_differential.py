@@ -1,0 +1,54 @@
+"""The cold/warm byte-identity gate (ISSUE 7 acceptance).
+
+For every covered corpus entry the answer stream produced by a session
+that just *filled* the cache must be byte-for-byte identical to the one
+produced by a session that *reads* it back — across both pipelines and
+both cost specs.  CI runs the same gate over the full golden corpus by
+regenerating it twice against one ``REPRO_CACHE_DIR``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import Session
+from tests.core.test_golden import COST_SPECS, GRAPHS, MODES, TOP_K, serialize_sequence
+
+# A representative slice of the corpus: random, structured, and
+# decomposition-friendly instances.  The full sweep runs in CI.
+CASES = ("gnp-n10-p0.35-a", "grid-4x4", "bowtie-k4", "ring-of-c5")
+
+
+def _run(name, cost, mode, cache_dir):
+    factory, _decoder = GRAPHS[name]
+    with Session(cache_dir=cache_dir, preprocess=(mode == "preprocess")) as session:
+        response = session.top(factory(), cost, k=TOP_K)
+        disk = session.cache_info().get("disk", {})
+    return json.dumps(serialize_sequence(response.results)), disk
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("cost", COST_SPECS)
+@pytest.mark.parametrize("name", CASES)
+def test_cold_equals_warm_bytes(tmp_path, name, cost, mode):
+    cache_dir = tmp_path / "cache"
+    cold, _ = _run(name, cost, mode, cache_dir)
+    warm, disk = _run(name, cost, mode, cache_dir)
+    assert warm == cold
+    # The warm leg really came from disk, not from a silent rebuild.
+    hits = sum(k["hits"] for k in disk["kinds"].values())
+    assert hits >= 1
+
+
+def test_warm_leg_matches_plain_session(tmp_path):
+    """The cache must be invisible: a warm read equals a cache-less run."""
+    name, cost = "gnp-n10-p0.35-a", "fill"
+    cache_dir = tmp_path / "cache"
+    _run(name, cost, "preprocess", cache_dir)
+    warm, _ = _run(name, cost, "preprocess", cache_dir)
+    factory, _decoder = GRAPHS[name]
+    with Session() as plain:
+        response = plain.top(factory(), cost, k=TOP_K)
+    assert warm == json.dumps(serialize_sequence(response.results))

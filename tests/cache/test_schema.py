@@ -1,0 +1,123 @@
+"""Schema versioning of persisted blobs (ISSUE 7 satellite).
+
+Every persisted artifact embeds a schema tag and a checksum; a loader
+handed a blob from a different build — or a blob damaged on disk — must
+treat it as a clean miss with a warning and evict it, never crash and
+never deserialize it into wrong answers.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.cache import ArtifactStore, CacheIntegrityWarning, default_schema_tag
+from repro.cache.store import PayloadError, decode_payload, encode_payload
+
+
+def test_default_schema_tag_folds_in_payload_versions():
+    from repro.api.checkpoint import CHECKPOINT_VERSION
+    from repro.preprocess.recompose import COMPOSED_CHECKPOINT_VERSION
+
+    tag = default_schema_tag()
+    assert f"ckpt{CHECKPOINT_VERSION}" in tag
+    assert f"composed{COMPOSED_CHECKPOINT_VERSION}" in tag
+
+
+def test_payload_roundtrip():
+    blob = encode_payload("tag-a", {"x": [1, 2]})
+    assert decode_payload("tag-a", blob) == {"x": [1, 2]}
+
+
+@pytest.mark.parametrize(
+    "mutate, reason",
+    [
+        (lambda b: b"junk" + b[4:], "corrupt"),  # bad magic
+        (lambda b: b[: len(b) // 2], "corrupt"),  # truncated
+        (lambda b: b[:-3] + bytes(3), "corrupt"),  # body bit rot
+        (lambda b: b, "schema"),  # decoded under another tag (below)
+    ],
+)
+def test_decode_rejects_damage(mutate, reason):
+    blob = mutate(encode_payload("tag-a", "value"))
+    read_tag = "tag-a" if reason == "corrupt" else "tag-b"
+    with pytest.raises(PayloadError) as excinfo:
+        decode_payload(read_tag, blob)
+    assert excinfo.value.reason == reason
+
+
+def test_wrong_tag_entry_is_miss_plus_eviction(tmp_path):
+    path = tmp_path / "c"
+    with ArtifactStore(path, schema_tag="old-build") as old:
+        old.put("context", "k", "stale-artifact")
+    new = ArtifactStore(path, schema_tag="new-build")
+    try:
+        with pytest.warns(CacheIntegrityWarning, match="schema"):
+            assert new.get("context", "k") is None
+        counters = new.stats()["kinds"]["context"]
+        assert counters["misses"] == 1
+        assert counters["corrupt"] == 1
+        assert counters["evictions"] == 1
+        # The bad row is gone: the next read is a plain quiet miss.
+        assert new.get("context", "k") is None
+        assert new.stats()["kinds"]["context"]["corrupt"] == 1
+    finally:
+        new.close()
+
+
+def test_hand_corrupted_payload_is_miss_plus_eviction(tmp_path):
+    path = tmp_path / "c"
+    store = ArtifactStore(path, schema_tag="t")
+    try:
+        store.put("prepared", "k", {"big": list(range(100))})
+        # Flip bytes in the stored blob body behind the store's back,
+        # as disk corruption would.
+        conn = sqlite3.connect(store.db_path)
+        try:
+            (blob,) = conn.execute(
+                "SELECT payload FROM artifacts WHERE key = 'k'"
+            ).fetchone()
+            damaged = blob[:-20] + bytes(20)
+            conn.execute(
+                "UPDATE artifacts SET payload = ? WHERE key = 'k'", (damaged,)
+            )
+            conn.commit()
+        finally:
+            conn.close()
+        with pytest.warns(CacheIntegrityWarning, match="corrupt"):
+            assert store.get("prepared", "k") is None
+        assert store.stats()["kinds"]["prepared"]["entries"] == 0
+    finally:
+        store.close()
+
+
+def test_session_falls_back_to_build_on_wrong_tag(tmp_path):
+    """A cache full of foreign-schema blobs must not poison a session:
+    every read is a miss, the session rebuilds, and answers match a
+    cache-less run."""
+    from repro.api import Session
+    from repro.graphs.generators import connected_erdos_renyi
+
+    graph = connected_erdos_renyi(9, 0.4, seed=5)
+    plain = Session()
+    expected = plain.top(graph, "fill", k=8)
+    plain.close()
+
+    path = tmp_path / "c"
+    warm = Session(cache_dir=path)
+    warm.top(graph, "fill", k=8)
+    warm.close()
+
+    stale = ArtifactStore(path, schema_tag="a-different-build")
+    session = Session(store=stale)
+    try:
+        with pytest.warns(CacheIntegrityWarning):
+            response = session.top(graph, "fill", k=8)
+        assert [r.cost for r in response.results] == [
+            r.cost for r in expected.results
+        ]
+        assert session.cache_info()["builds"] >= 1
+    finally:
+        session.close()
+        stale.close()

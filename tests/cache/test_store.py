@@ -1,0 +1,198 @@
+"""The artifact store itself: roundtrips, LRU eviction, corruption
+tolerance, and directory resolution."""
+
+from __future__ import annotations
+
+import sqlite3
+import warnings
+
+import pytest
+
+from repro.cache import (
+    ArtifactStore,
+    CacheIntegrityWarning,
+    DEFAULT_MAX_BYTES,
+    ENV_CACHE_DIR,
+    ENV_MAX_BYTES,
+    context_key,
+    open_store,
+    plan_key,
+    prepared_key,
+    resolve_cache_dir,
+)
+
+
+@pytest.fixture
+def store(tmp_path):
+    with ArtifactStore(tmp_path / "cache", schema_tag="test-tag") as s:
+        yield s
+
+
+def test_roundtrip(store):
+    value = {"table": [1, 2, 3], "first": ("a", frozenset({1, 2}))}
+    assert store.put("prepared", "k1", value)
+    assert store.get("prepared", "k1") == value
+
+
+def test_missing_is_a_counted_miss(store):
+    assert store.get("context", "nope") is None
+    kinds = store.stats()["kinds"]
+    assert kinds["context"]["misses"] == 1
+    assert kinds["context"]["hits"] == 0
+
+
+def test_hit_and_store_counters(store):
+    store.put("plan", "k", [1])
+    store.get("plan", "k")
+    store.get("plan", "k")
+    counters = store.stats()["kinds"]["plan"]
+    assert counters["stores"] == 1
+    assert counters["hits"] == 2
+    assert counters["misses"] == 0
+
+
+def test_persistence_across_instances(tmp_path):
+    with ArtifactStore(tmp_path / "c", schema_tag="t") as s1:
+        s1.put("context", "k", "payload")
+    with ArtifactStore(tmp_path / "c", schema_tag="t") as s2:
+        assert s2.get("context", "k") == "payload"
+
+
+def test_replace_same_key_keeps_one_entry(store):
+    store.put("context", "k", "old")
+    store.put("context", "k", "new")
+    assert store.get("context", "k") == "new"
+    assert store.stats()["kinds"]["context"]["entries"] == 1
+
+
+def test_delete_and_clear(store):
+    store.put("context", "a", 1)
+    store.put("context", "b", 2)
+    store.put("plan", "c", 3)
+    store.delete("context", "a")
+    assert store.get("context", "a") is None
+    assert store.clear("plan") == 1
+    assert store.get("plan", "c") is None
+    assert store.get("context", "b") == 2
+    assert store.clear() == 1
+    assert store.stats()["entries"] == 0
+
+
+def test_lru_eviction_prefers_least_recently_used(store):
+    store.put("context", "a", b"a" * 100)
+    store.put("context", "b", b"b" * 100)
+    assert store.get("context", "a") is not None  # refresh a's recency
+    # Cap the store just above two entries: the next put must evict
+    # exactly one victim, and it must be b (older last_used), not a.
+    two_entries = store.stats()["total_bytes"]
+    store.max_bytes = two_entries + 50
+    store.put("context", "c", b"c" * 100)
+    assert store.get("context", "b") is None
+    assert store.get("context", "a") is not None
+    assert store.get("context", "c") is not None
+    assert store.stats()["kinds"]["context"]["evictions"] == 1
+
+
+def test_oversized_artifact_refused(store):
+    store.max_bytes = 64
+    assert not store.put("context", "big", b"x" * 1024)
+    assert store.stats()["entries"] == 0
+
+
+def test_just_written_entry_never_self_evicts(store):
+    # An entry that fits the cap on its own must survive its own put
+    # even when the store cannot shrink under the cap around it.
+    store.put("context", "only", b"y" * 100)
+    nbytes = store.stats()["total_bytes"]
+    store.max_bytes = nbytes  # exactly at cap
+    store.put("context", "only", b"y" * 100)
+    assert store.get("context", "only") is not None
+
+
+def test_corrupt_database_file_recovers_cold(tmp_path):
+    path = tmp_path / "c"
+    with ArtifactStore(path, schema_tag="t") as s1:
+        s1.put("context", "k", "v")
+    (path / "artifacts.sqlite").write_bytes(b"this is not a database")
+    with pytest.warns(CacheIntegrityWarning):
+        s2 = ArtifactStore(path, schema_tag="t")
+    try:
+        assert s2.get("context", "k") is None  # cold, but alive
+        assert s2.put("context", "k", "v2")
+        assert s2.get("context", "k") == "v2"
+    finally:
+        s2.close()
+
+
+def test_closed_store_is_inert(store):
+    store.put("context", "k", 1)
+    store.close()
+    assert store.get("context", "k") is None
+    assert not store.put("context", "k2", 2)
+    assert store.clear() == 0
+    store.close()  # idempotent
+
+
+def test_stats_shape(store):
+    store.put("context", "k", b"z" * 10)
+    stats = store.stats()
+    assert stats["schema_tag"] == "test-tag"
+    assert stats["entries"] == 1
+    assert stats["total_bytes"] > 0
+    assert set(stats["kinds"]["context"]) == {
+        "hits", "misses", "stores", "evictions", "corrupt", "entries", "bytes",
+    }
+
+
+def test_key_builders_disambiguate():
+    assert context_key("fp", None, "bitset") != context_key("fp", 3, "bitset")
+    assert context_key("fp", None, "bitset") != context_key("fp", None, "sets")
+    assert prepared_key("fp", "width", None, "bitset") != prepared_key(
+        "fp", "fill", None, "bitset"
+    )
+    assert plan_key("fp", True) != plan_key("fp", False)
+
+
+def test_resolve_cache_dir_precedence(tmp_path, monkeypatch):
+    monkeypatch.delenv(ENV_CACHE_DIR, raising=False)
+    assert resolve_cache_dir(None) is None
+    assert open_store(None) is None
+    monkeypatch.setenv(ENV_CACHE_DIR, str(tmp_path / "env"))
+    assert resolve_cache_dir(None) == tmp_path / "env"
+    # An explicit argument beats the environment.
+    assert resolve_cache_dir(tmp_path / "arg") == tmp_path / "arg"
+    store = open_store(None, schema_tag="t")
+    try:
+        assert store is not None
+        assert store.path == tmp_path / "env"
+    finally:
+        store.close()
+
+
+def test_max_bytes_from_environment(tmp_path, monkeypatch):
+    monkeypatch.setenv(ENV_MAX_BYTES, "4096")
+    with ArtifactStore(tmp_path / "c", schema_tag="t") as s:
+        assert s.max_bytes == 4096
+    monkeypatch.setenv(ENV_MAX_BYTES, "not-a-number")
+    with ArtifactStore(tmp_path / "c2", schema_tag="t") as s:
+        assert s.max_bytes == DEFAULT_MAX_BYTES
+    with pytest.raises(ValueError):
+        ArtifactStore(tmp_path / "c3", schema_tag="t", max_bytes=0)
+
+
+def test_wal_mode_is_active(store):
+    store.put("context", "k", 1)
+    conn = sqlite3.connect(store.db_path)
+    try:
+        (mode,) = conn.execute("PRAGMA journal_mode").fetchone()
+    finally:
+        conn.close()
+    assert mode.lower() == "wal"
+
+
+def test_no_warnings_on_clean_operation(store):
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", CacheIntegrityWarning)
+        store.put("context", "k", "v")
+        assert store.get("context", "k") == "v"
+        assert store.get("context", "missing") is None

@@ -25,6 +25,42 @@ class TestBlock:
         assert a != c
         assert len({a, b, c}) == 2
 
+    def test_unpickle_recomputes_seed_dependent_hash(self):
+        """A block pickled under one PYTHONHASHSEED must hash correctly
+        under every other — string-label frozenset hashes are randomized
+        per process, so shipping the writer's cached hash breaks every
+        dict lookup in the reader (persistent artifact cache,
+        cross-process checkpoints)."""
+        import os
+        import pickle
+        import subprocess
+        import sys
+
+        import repro
+
+        script = (
+            "import pickle, sys;"
+            "from repro.separators.blocks import Block;"
+            "b = Block(frozenset({'u', 'v'}), frozenset({'w1', 'w2'}));"
+            "sys.stdout.buffer.write(pickle.dumps(b))"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.dirname(os.path.dirname(repro.__file__))
+        local = Block(frozenset({"u", "v"}), frozenset({"w1", "w2"}))
+        # Two writer seeds: at least one differs from this process's.
+        for seed in ("0", "12345"):
+            env["PYTHONHASHSEED"] = seed
+            blob = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                check=True,
+                env=env,
+            ).stdout
+            loaded = pickle.loads(blob)
+            assert hash(loaded) == hash(local)
+            assert loaded == local
+            assert {local: "x"}[loaded] == "x"
+
     def test_realization_saturates_separator(self, paper_graph):
         s1 = frozenset({"w1", "w2", "w3"})
         blocks = list(blocks_of_separator(paper_graph, s1))
