@@ -1,0 +1,211 @@
+"""HTTP gateway throughput study: transport overhead vs raw TCP.
+
+Measures the asyncio HTTP/SSE gateway end to end — request parsing,
+typed-handler validation, chunked/SSE encoding — under 1, 4, and 8
+concurrent clients per stream encoding:
+
+* ``ndjson`` — chunked ``application/x-ndjson`` responses (the TCP
+  protocol's frames verbatim, HTTP-framed);
+* ``sse``    — ``text/event-stream`` responses (one event per frame,
+  ``data:`` bytes identical to the NDJSON frame).
+
+Each client POSTs a batch of ``top(k)`` jobs over a pool of small mixed
+graphs; per (encoding, level) the driver reports ``answers_per_sec``,
+``p50_first_ms`` / ``p99_first_ms`` (request sent → first answer frame)
+and ``p50_total_ms``.  Every delivered page is asserted byte-identical
+to the serial ``Session.stream`` serialization of the same request, so
+the benchmark doubles as a load-level differential test of the HTTP
+framing.
+
+Rows land in ``results/gateway_throughput.json`` / ``.txt``.  Knobs:
+``REPRO_BENCH_GATEWAY_CLIENTS`` (comma-separated levels, default
+``1,4,8``), ``REPRO_BENCH_GATEWAY_REQUESTS`` (jobs per client, default
+6), ``REPRO_BENCH_GATEWAY_K`` (answers per job, default 8), and
+``REPRO_BENCH_GATEWAY_WORKERS`` (scheduler slots, default 4).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+
+from repro.api import Session
+from repro.bench.reporting import format_table, save_report
+from repro.gateway import GatewayClient, GatewayThread
+from repro.graphs.generators import connected_erdos_renyi, grid_graph
+from repro.service import serialize_answers
+from repro.service.protocol import graph_to_wire
+
+
+def _graph_pool(smoke: bool):
+    if smoke:
+        return [
+            ("gnp-n9", connected_erdos_renyi(9, 0.4, seed=3)),
+            ("grid-3x3", grid_graph(3, 3)),
+        ]
+    return [
+        ("gnp-n10-a", connected_erdos_renyi(10, 0.35, seed=0)),
+        ("gnp-n10-b", connected_erdos_renyi(10, 0.35, seed=2)),
+        ("gnp-n12", connected_erdos_renyi(12, 0.3, seed=6)),
+        ("grid-3x3", grid_graph(3, 3)),
+    ]
+
+
+def _reference_lines(pool, k):
+    """Serial reference bytes per (graph, cost) workload."""
+    session = Session()
+    reference = {}
+    for (name, graph), cost in itertools.product(pool, ("fill", "width")):
+        stream = session.stream(graph, cost)
+        try:
+            results = list(itertools.islice(stream, k))
+        finally:
+            stream.close()
+        reference[(name, cost)] = serialize_answers(results)
+    return reference
+
+
+def _client_worker(address, jobs, k, sse, record, errors):
+    try:
+        client = GatewayClient(*address, timeout=120.0)
+        for name, wire, cost in jobs:
+            body = {"op": "top", "graph": wire, "cost": cost, "k": k}
+            sent = time.perf_counter()
+            first = None
+            stream = client.submit(body, sse=sse)
+            for event, _line in stream:
+                if event == "answer" and first is None:
+                    first = time.perf_counter() - sent
+            stream.close()
+            total = time.perf_counter() - sent
+            assert stream.status == 200, stream.terminal
+            record.append(
+                {
+                    "workload": (name, cost),
+                    "first": first,
+                    "total": total,
+                    "answers": len(stream.answer_lines),
+                    "lines": list(stream.answer_lines),
+                }
+            )
+    except BaseException as exc:
+        errors.append(exc)
+
+
+def _percentile(values, q):
+    if not values:
+        return float("nan")
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def test_gateway_throughput_report(benchmark, smoke):
+    levels = (
+        [1, 2]
+        if smoke
+        else [
+            int(tok)
+            for tok in os.environ.get(
+                "REPRO_BENCH_GATEWAY_CLIENTS", "1,4,8"
+            ).split(",")
+            if tok.strip()
+        ]
+    )
+    requests = (
+        2 if smoke else int(os.environ.get("REPRO_BENCH_GATEWAY_REQUESTS", "6"))
+    )
+    k = 3 if smoke else int(os.environ.get("REPRO_BENCH_GATEWAY_K", "8"))
+    workers = int(os.environ.get("REPRO_BENCH_GATEWAY_WORKERS", "4"))
+    pool = _graph_pool(smoke)
+    reference = _reference_lines(pool, k)
+    wired = [(name, graph_to_wire(graph)) for name, graph in pool]
+
+    def run_encoding(sse, rows):
+        encoding = "sse" if sse else "ndjson"
+        with GatewayThread(max_workers=workers, slice_answers=4) as handle:
+            for level in levels:
+                per_client = []
+                workload = itertools.cycle(
+                    [
+                        (name, wire, cost)
+                        for (name, wire) in wired
+                        for cost in ("fill", "width")
+                    ]
+                )
+                for _ in range(level):
+                    per_client.append(
+                        [next(workload) for _ in range(requests)]
+                    )
+                records: list[dict] = []
+                errors: list[BaseException] = []
+                threads = [
+                    threading.Thread(
+                        target=_client_worker,
+                        args=(handle.address, jobs, k, sse, records, errors),
+                    )
+                    for jobs in per_client
+                ]
+                started = time.perf_counter()
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join(timeout=300)
+                    assert not t.is_alive(), (
+                        f"client thread wedged past 300s at {level} clients"
+                    )
+                wall = time.perf_counter() - started
+                assert not errors, errors
+                # Load-level differential check: every page is exact.
+                for entry in records:
+                    assert entry["lines"] == reference[entry["workload"]], (
+                        f"{entry['workload']} diverged at {level} "
+                        f"{encoding} clients"
+                    )
+                firsts = [e["first"] for e in records if e["first"] is not None]
+                totals = [e["total"] for e in records]
+                answers = sum(e["answers"] for e in records)
+                rows.append(
+                    {
+                        "encoding": encoding,
+                        "clients": level,
+                        "jobs": len(records),
+                        "answers": answers,
+                        "answers_per_sec": round(answers / wall, 1),
+                        "p50_first_ms": round(
+                            _percentile(firsts, 0.50) * 1e3, 2
+                        ),
+                        "p99_first_ms": round(
+                            _percentile(firsts, 0.99) * 1e3, 2
+                        ),
+                        "p50_total_ms": round(
+                            _percentile(totals, 0.50) * 1e3, 2
+                        ),
+                    }
+                )
+
+    def run():
+        rows = []
+        for sse in (False, True):
+            run_encoding(sse, rows)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_table(
+        rows,
+        title=(
+            f"HTTP gateway throughput (top-{k}, {requests} jobs/client, "
+            f"{workers} scheduler slots)"
+        ),
+    )
+    print("\n" + text)
+    save_report("gateway_throughput", rows, text)
+
+    assert {r["encoding"] for r in rows} == {"ndjson", "sse"}
+    for encoding in ("ndjson", "sse"):
+        encoding_rows = [r for r in rows if r["encoding"] == encoding]
+        assert {r["clients"] for r in encoding_rows} == set(levels)
+    assert all(r["jobs"] == r["clients"] * requests for r in rows)
+    assert all(r["answers"] > 0 for r in rows)

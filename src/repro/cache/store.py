@@ -46,6 +46,15 @@ LRU by total payload bytes: when a put pushes the store past
 recently *used* entries are deleted until it fits.  An artifact larger
 than the whole cap is refused outright.
 
+Recency is a **monotonic access counter**, not a wall-clock timestamp:
+every hit and every store assigns ``last_used = MAX(last_used) + 1``
+inside the same statement/transaction, so the ordering is a pure
+function of access order — shared correctly across processes, and
+immune to backwards clock steps (NTP corrections, VM suspends), which
+under wall-clock recency would scramble eviction order and could evict
+the hottest artifacts first.  ``created_at`` stays a wall-clock
+timestamp; it is informational only and never drives eviction.
+
 A store whose sqlite file is unreadable at open (truncated, garbage) is
 moved aside and recreated cold — the cache never takes the service
 down.
@@ -94,7 +103,8 @@ DEFAULT_MAX_BYTES = 1 << 30
 #: Version of the on-disk payload framing and the artifact pickle
 #: schemas.  Bump on any change to what the cached artifacts contain —
 #: old entries then become clean misses instead of wrong answers.
-CACHE_FORMAT_VERSION = 1
+#: v2: ``last_used`` became a monotonic access counter (was wall clock).
+CACHE_FORMAT_VERSION = 2
 
 _MAGIC = b"REPROART\x01"
 _DIGEST_BYTES = 32
@@ -376,9 +386,14 @@ class ArtifactStore:
                 return None
             counters["hits"] += 1
             try:
+                # Monotonic recency: the next counter value comes from the
+                # table itself (one atomic statement), never the wall
+                # clock — a backwards clock step must not reorder LRU.
                 self._conn.execute(
-                    "UPDATE artifacts SET last_used = ? WHERE kind = ? AND key = ?",
-                    (time.time(), kind, key),
+                    "UPDATE artifacts SET last_used = "
+                    "(SELECT COALESCE(MAX(last_used), 0) + 1 FROM artifacts) "
+                    "WHERE kind = ? AND key = ?",
+                    (kind, key),
                 )
             except sqlite3.DatabaseError:
                 pass  # LRU recency is best-effort; the hit already served
@@ -404,11 +419,16 @@ class ArtifactStore:
             try:
                 self._conn.execute("BEGIN IMMEDIATE")
                 try:
+                    # last_used is the monotonic access counter (see the
+                    # module docstring): MAX + 1 inside this transaction,
+                    # so a fresh store counts as the most recent access
+                    # even when the wall clock stepped backwards.
                     self._conn.execute(
                         "INSERT OR REPLACE INTO artifacts "
                         "(kind, key, schema_tag, payload, nbytes, created_at, "
-                        "last_used) VALUES (?, ?, ?, ?, ?, ?, ?)",
-                        (kind, key, self.schema_tag, blob, len(blob), now, now),
+                        "last_used) VALUES (?, ?, ?, ?, ?, ?, "
+                        "(SELECT COALESCE(MAX(last_used), 0) + 1 FROM artifacts))",
+                        (kind, key, self.schema_tag, blob, len(blob), now),
                     )
                     self._evict_over_cap(keep=(kind, key))
                     self._conn.execute("COMMIT")

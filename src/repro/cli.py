@@ -20,6 +20,9 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import csv
+import io
+import json
 import os
 import sys
 import time
@@ -195,13 +198,25 @@ def build_parser() -> argparse.ArgumentParser:
         "slot (smaller = fairer + faster cancellation)",
     )
     p_serve.add_argument(
+        "--http",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="additionally serve the HTTP gateway on PORT (0 picks a "
+        "free port): REST job submission with SSE/NDJSON streaming, "
+        "plus /metrics (Prometheus) and /health — sharing this "
+        "server's scheduler, sessions and worker pool",
+    )
+    p_serve.add_argument(
         "--token-secret",
         metavar="PATH",
         default=None,
         help="file whose bytes sign the resume tokens; share it across "
-        "server instances (or restarts) to make tokens portable — by "
-        "default each server uses a random per-process key, so tokens "
-        "only resume against the instance that minted them",
+        "server instances (or restarts) to make tokens portable — "
+        "without it the REPRO_TOKEN_SECRET environment variable is "
+        "used, and failing both each server mints a random per-process "
+        "key, so tokens only resume against the instance that minted "
+        "them",
     )
     _add_cache_dir_option(p_serve)
 
@@ -249,6 +264,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="resume from a token written by --checkpoint (new connection, "
         "same exact sequence)",
+    )
+    p_sub.add_argument(
+        "--format",
+        default="plain",
+        choices=("plain", "table", "csv", "json"),
+        help="answer rendering: plain = one annotated line per answer "
+        "(default), table/csv/json = structured rows (rank, cost, width, "
+        "bags); structured modes keep stdout machine-readable and move "
+        "the terminal summary to stderr",
     )
     p_sub.add_argument(
         "--stats",
@@ -402,6 +426,56 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
     return 0
 
 
+def format_output(rows, columns, fmt: str = "table", title: str | None = None) -> str:
+    """Render result rows as an aligned table, CSV, or JSON.
+
+    ``rows`` are sequences parallel to ``columns``.  JSON keeps the
+    values as-is (lists stay lists); table and CSV stringify them.
+    """
+    if fmt == "json":
+        return json.dumps(
+            [dict(zip(columns, row)) for row in rows],
+            indent=2,
+            sort_keys=True,
+        )
+    if fmt == "csv":
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(columns)
+        for row in rows:
+            writer.writerow([_cell(value) for value in row])
+        return buffer.getvalue().rstrip("\n")
+    rendered = [[_cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(str(name)), *(len(row[i]) for row in rendered), 0)
+        if rendered
+        else len(str(name))
+        for i, name in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(
+        str(name).ljust(width) for name, width in zip(columns, widths)
+    ).rstrip())
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered:
+        lines.append("  ".join(
+            cell.ljust(width) for cell, width in zip(row, widths)
+        ).rstrip())
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, (list, tuple)):
+        return "|".join(
+            ",".join(str(v) for v in bag) if isinstance(bag, (list, tuple))
+            else str(bag)
+            for bag in value
+        )
+    return str(value)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .service import serve
 
@@ -430,6 +504,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         backend=args.backend,
         worker_processes=workers if args.backend == "process" else None,
         cache_dir=args.cache_dir,
+        http_port=args.http,
     )
     return 0
 
@@ -499,22 +574,42 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
-    for answer in result.answers:
-        bags = [list(map(str, bag)) for bag in answer.bags]
-        print(
-            f"#{answer.rank}: cost={answer.cost} width={answer.width} bags={bags}"
-        )
+    if args.format == "plain":
+        for answer in result.answers:
+            bags = [list(map(str, bag)) for bag in answer.bags]
+            print(
+                f"#{answer.rank}: cost={answer.cost} width={answer.width} bags={bags}"
+            )
+    else:
+        rows = [
+            (
+                answer.rank,
+                answer.cost,
+                answer.width,
+                [list(map(str, bag)) for bag in answer.bags],
+            )
+            for answer in result.answers
+        ]
+        print(format_output(rows, ("rank", "cost", "width", "bags"), args.format))
+    # Structured formats keep stdout parseable; the summary goes aside.
+    summary_out = sys.stdout if args.format == "plain" else sys.stderr
     terminal = result.terminal
     if isinstance(terminal, StatsFrame):
         state = "exhausted" if terminal.exhausted else "more available"
         print(
             f"stats: {terminal.emitted} answers, {terminal.expansions} "
-            f"expansions, {terminal.elapsed_seconds:.3f}s ({state})"
+            f"expansions, {terminal.elapsed_seconds:.3f}s ({state})",
+            file=summary_out,
         )
     elif isinstance(terminal, DeadlineFrame):
-        print(f"deadline: paused after {terminal.emitted} answers")
+        print(
+            f"deadline: paused after {terminal.emitted} answers",
+            file=summary_out,
+        )
     else:
-        print(f"cancelled after {terminal.emitted} answers")
+        print(
+            f"cancelled after {terminal.emitted} answers", file=summary_out
+        )
     if args.checkpoint is not None:
         if result.checkpoint is not None:
             with open(args.checkpoint, "wb") as fh:

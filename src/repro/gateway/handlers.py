@@ -1,0 +1,126 @@
+"""Typed per-operation handlers for job submission.
+
+One handler class per job kind, in the declarative style of typed API
+handler registries: each handler names its operation, the body fields
+it accepts and the ones it requires, and maps a validated JSON body
+onto the *existing* wire-request schema — the deep validation
+(graph decoding, token base64, field types, op-specific invariants)
+stays in :func:`repro.service.protocol.parse_request`, so an HTTP
+submission and a raw TCP frame are held to the identical contract.
+"""
+
+from __future__ import annotations
+
+from ..service.protocol import ProtocolError, ServiceRequest, parse_request
+
+
+class HandlerError(Exception):
+    """A body the handler layer refuses (before scheduler admission)."""
+
+
+#: Tuning fields shared by every enumeration kind.
+_COMMON = ("cost", "kernel", "preprocess", "width_bound", "deadline")
+
+
+class OperationHandler:
+    """Base: field-set validation, then delegation to ``parse_request``.
+
+    Subclasses declare ``op``, ``fields`` (accepted body keys) and
+    ``required`` (keys that must be present).  ``source_fields`` names
+    the keys of which *exactly one* must be given (graph vs token).
+    """
+
+    op: str = ""
+    fields: tuple[str, ...] = ()
+    required: tuple[str, ...] = ()
+    source_fields: tuple[str, ...] = ()
+
+    def build_request(self, body: dict) -> ServiceRequest:
+        unknown = sorted(set(body) - set(self.fields) - {"op"})
+        if unknown:
+            raise HandlerError(
+                f"op {self.op!r} does not accept field(s) "
+                f"{', '.join(unknown)}; accepted: {', '.join(self.fields)}"
+            )
+        missing = [key for key in self.required if body.get(key) is None]
+        if missing:
+            raise HandlerError(
+                f"op {self.op!r} requires field(s) {', '.join(missing)}"
+            )
+        if self.source_fields:
+            given = [
+                key for key in self.source_fields
+                if body.get(key) is not None
+            ]
+            if len(given) != 1:
+                raise HandlerError(
+                    f"op {self.op!r} needs exactly one of "
+                    f"{', '.join(self.source_fields)}"
+                )
+        frame = {"type": "request", "op": self.op}
+        frame.update(
+            (key, value) for key, value in body.items()
+            if key != "op" and value is not None
+        )
+        try:
+            return parse_request(frame)
+        except ProtocolError as exc:
+            raise HandlerError(str(exc)) from exc
+
+
+class EnumerateHandler(OperationHandler):
+    op = "enumerate"
+    fields = _COMMON + ("graph", "token", "k", "answer_budget")
+    source_fields = ("graph", "token")
+
+
+class TopHandler(OperationHandler):
+    op = "top"
+    fields = _COMMON + ("graph", "token", "k", "answer_budget")
+    required = ("k",)
+    source_fields = ("graph", "token")
+
+
+class DiverseHandler(OperationHandler):
+    op = "diverse"
+    fields = _COMMON + ("graph", "k", "min_distance", "scan_limit")
+    required = ("graph", "k")
+
+
+class DecompositionsHandler(OperationHandler):
+    op = "decompositions"
+    fields = _COMMON + ("graph", "k", "per_triangulation")
+    required = ("graph",)
+
+
+class StatsHandler(OperationHandler):
+    op = "stats"
+    fields = ()
+
+
+#: The submission registry: one typed handler per job kind.
+HANDLERS: dict[str, OperationHandler] = {
+    handler.op: handler()
+    for handler in (
+        EnumerateHandler,
+        TopHandler,
+        DiverseHandler,
+        DecompositionsHandler,
+        StatsHandler,
+    )
+}
+
+
+def build_request(body: object) -> ServiceRequest:
+    """Route one decoded JSON body through its operation's handler."""
+    if not isinstance(body, dict):
+        raise HandlerError("request body must be a JSON object")
+    op = body.get("op")
+    if not isinstance(op, str):
+        raise HandlerError("request body needs a string 'op' field")
+    handler = HANDLERS.get(op)
+    if handler is None:
+        raise HandlerError(
+            f"unknown op {op!r}; expected one of {', '.join(sorted(HANDLERS))}"
+        )
+    return handler.build_request(body)

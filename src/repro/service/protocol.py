@@ -33,12 +33,18 @@ Resume tokens are the existing cross-process checkpoint byte strings
 Checkpoints are pickle-based, so a server must never unpickle bytes it
 did not mint: every wire token is therefore **HMAC-signed** with the
 scheduler's token key (:func:`sign_token` / :func:`verify_token`), and
-a token that fails authentication is rejected as an in-band
-``bad-request`` before any deserialization happens.  By default the
-key is random per scheduler, so tokens resume against the server that
-minted them; share one key across instances (``token_key=``, or
-``repro serve --token-secret``) to make tokens portable across a pool
-or a restart.
+a token that fails authentication is rejected in-band before any
+deserialization happens.  A structurally damaged token is a
+``bad-request``; a well-formed token whose HMAC tag does not verify
+raises :class:`TokenAuthError` and surfaces as the distinct error code
+``token_key_mismatch`` — the signature of a key rotation or server
+restart, not of corruption — so clients know re-submitting the job (not
+fixing their bytes) is the remedy.  By default the key is random per
+scheduler, so tokens resume against the server that minted them; share
+one key across instances to make tokens portable across a pool or a
+restart: pass ``token_key=`` / ``repro serve --token-secret``, or set
+the ``REPRO_TOKEN_SECRET`` environment variable, which every scheduler
+without an explicit key falls back to (:func:`resolve_token_key`).
 """
 
 from __future__ import annotations
@@ -47,6 +53,7 @@ import base64
 import hashlib
 import hmac
 import json
+import os
 import secrets
 from dataclasses import dataclass, field
 
@@ -56,6 +63,9 @@ from ..graphs.ordering import vertex_set_sort_key, vertex_sort_key
 __all__ = [
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "TokenAuthError",
+    "ENV_TOKEN_SECRET",
+    "resolve_token_key",
     "ServiceRequest",
     "AnswerFrame",
     "StatsFrame",
@@ -92,6 +102,17 @@ TERMINAL_TYPES = frozenset(
 
 class ProtocolError(ValueError):
     """A frame that violates the wire protocol (malformed, wrong type)."""
+
+
+class TokenAuthError(ProtocolError):
+    """A structurally valid resume token whose HMAC tag does not verify.
+
+    Distinguished from plain :class:`ProtocolError` so the service can
+    answer with the ``token_key_mismatch`` error code: the token was
+    minted under a different signing key (server restart without a
+    shared secret, key rotation) rather than damaged in transit, and the
+    client's remedy is to re-submit the job, not to fix its bytes.
+    """
 
 
 # ----------------------------------------------------------------------
@@ -145,6 +166,30 @@ def new_token_key() -> bytes:
     return secrets.token_bytes(32)
 
 
+#: Environment variable holding a shared token-signing secret (the
+#: secret itself, not a file path) — the deployment-friendly way to keep
+#: resume tokens valid across server restarts and instances.
+ENV_TOKEN_SECRET = "REPRO_TOKEN_SECRET"
+
+
+def resolve_token_key(explicit: bytes | None = None) -> bytes:
+    """The effective token-signing key.
+
+    Precedence: ``explicit`` bytes (``token_key=`` / ``--token-secret``),
+    else the ``REPRO_TOKEN_SECRET`` environment secret (UTF-8 encoded),
+    else a fresh random per-instance key.  Without the env fallback, a
+    gateway or server restart silently invalidated every outstanding
+    token even in deployments that *wanted* stable keys but could not
+    thread a flag through their process manager.
+    """
+    if explicit is not None:
+        return explicit
+    env = os.environ.get(ENV_TOKEN_SECRET)
+    if env:
+        return env.encode("utf-8")
+    return new_token_key()
+
+
 def sign_token(key: bytes, payload: bytes) -> bytes:
     """Prefix ``payload`` with its HMAC-SHA256 tag under ``key``."""
     return hmac.new(key, payload, hashlib.sha256).digest() + payload
@@ -156,19 +201,25 @@ def verify_token(key: bytes, blob: bytes) -> bytes:
     Raises
     ------
     ProtocolError
-        If the blob is truncated or its tag does not verify — the
-        mandatory gate before the (pickle-based) checkpoint payload may
-        be deserialized, since unpickling attacker-controlled bytes is
-        code execution.
+        If the blob is truncated (structural corruption) — the mandatory
+        gate before the (pickle-based) checkpoint payload may be
+        deserialized, since unpickling attacker-controlled bytes is code
+        execution.
+    TokenAuthError
+        If the tag does not verify: the token was signed under a
+        different key (server restart / rotation) or tampered with —
+        reported to clients as ``token_key_mismatch``.
     """
     if len(blob) <= TOKEN_TAG_BYTES:
         raise ProtocolError("resume token is truncated")
     tag, payload = blob[:TOKEN_TAG_BYTES], blob[TOKEN_TAG_BYTES:]
     expected = hmac.new(key, payload, hashlib.sha256).digest()
     if not hmac.compare_digest(tag, expected):
-        raise ProtocolError(
-            "resume token failed authentication (minted by a different "
-            "server instance, or tampered with)"
+        raise TokenAuthError(
+            "resume token failed authentication: it was minted under a "
+            "different signing key (server restart or key rotation — "
+            "share a key via --token-secret or REPRO_TOKEN_SECRET to "
+            "keep tokens portable), or tampered with"
         )
     return payload
 

@@ -62,9 +62,10 @@ from .protocol import (
     ProtocolError,
     ServiceRequest,
     TERMINAL_TYPES,
+    TokenAuthError,
     answer_frame,
     encode_token,
-    new_token_key,
+    resolve_token_key,
     sign_token,
     verify_token,
 )
@@ -80,6 +81,46 @@ __all__ = [
 
 #: Answers one slice may stream before yielding its worker slot.
 DEFAULT_SLICE_ANSWERS = 4
+
+#: Upper bounds (seconds) of the slice-latency histogram buckets.  A
+#: slice is one executor round trip — context builds land in the tail
+#: buckets, warm-stream batches in the head.
+SLICE_LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0,
+)
+
+
+class _SliceHistogram:
+    """Fixed-bucket latency histogram (Prometheus-shaped counters).
+
+    Mutated only from the scheduler's event loop (after each awaited
+    slice), so plain ints suffice; snapshots hand out copies.
+    """
+
+    def __init__(self, bounds: tuple[float, ...] = SLICE_LATENCY_BUCKETS):
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1: the +Inf bucket
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, seconds: float) -> None:
+        for i, bound in enumerate(self.bounds):
+            if seconds <= bound:
+                self.counts[i] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.total += seconds
+        self.count += 1
+
+    def snapshot(self) -> dict:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": self.total,
+            "count": self.count,
+        }
 
 
 class ScheduledJob:
@@ -501,6 +542,16 @@ class ExecutionBackend(ABC):
         """Per-worker introspection rows for the ``stats`` job kind."""
         return []
 
+    def probe(self) -> bool:
+        """A liveness round trip (``/health``): can this backend run a
+        slice right now?  In-process execution is alive by definition;
+        remote backends ping an actual worker seat."""
+        return True
+
+    def telemetry(self) -> dict:
+        """Cheap backend counters for a metrics scrape (no round trips)."""
+        return {}
+
     def close(self) -> None:
         """Release worker resources (processes, sessions)."""
 
@@ -692,7 +743,9 @@ class EnumerationScheduler:
             )
         self._slice_answers = slice_answers
         self._max_pending = max_pending_frames
-        self._token_key = token_key if token_key is not None else new_token_key()
+        # Explicit key, else the REPRO_TOKEN_SECRET environment secret,
+        # else random (tokens then die with this instance).
+        self._token_key = resolve_token_key(token_key)
         self._cache_dir = cache_dir
         self._backend = self._make_backend(
             backend, worker_processes or max_workers, session_factory
@@ -708,10 +761,13 @@ class EnumerationScheduler:
             max_workers=slots + 1, thread_name_prefix="repro-service"
         )
         self._slots = asyncio.Semaphore(slots)
+        self._slots_total = slots
         self._ids = itertools.count(1)
         self._jobs: dict[int, ScheduledJob] = {}
         self._admitted = 0
+        self._admitted_by_op: dict[str, int] = {}
         self._completed = 0
+        self._slice_hist = _SliceHistogram()
         self._closed = False
 
     def _make_backend(
@@ -765,6 +821,9 @@ class EnumerationScheduler:
         job = ScheduledJob(next(self._ids), request, self._max_pending)
         self._jobs[job.id] = job
         self._admitted += 1
+        self._admitted_by_op[request.op] = (
+            self._admitted_by_op.get(request.op, 0) + 1
+        )
         job._task = asyncio.create_task(self._run(job))
         return job
 
@@ -779,9 +838,11 @@ class EnumerationScheduler:
         try:
             while True:
                 async with self._slot():
+                    started = time.perf_counter()
                     frames, finished = await loop.run_in_executor(
                         self._executor, runner.slice_, self._slice_answers
                     )
+                    self._slice_hist.observe(time.perf_counter() - started)
                 for frame in frames:
                     if frame["type"] == "answer":
                         job.emitted += 1
@@ -796,6 +857,16 @@ class EnumerationScheduler:
                 # Explicit fairness point: even if the semaphore has free
                 # slots, let other ready jobs interleave between slices.
                 await asyncio.sleep(0)
+        except TokenAuthError as exc:
+            # Key rotation / restart, not corruption: a distinct code so
+            # clients know to re-submit rather than distrust their bytes.
+            await job.frames.put(
+                {
+                    "type": "error",
+                    "code": "token_key_mismatch",
+                    "message": str(exc),
+                }
+            )
         except ProtocolError as exc:
             await job.frames.put(
                 {"type": "error", "code": "bad-request", "message": str(exc)}
@@ -874,6 +945,34 @@ class EnumerationScheduler:
             "completed": self._completed,
             "active": self.active_jobs,
         }
+
+    def metrics_snapshot(self) -> dict:
+        """Cheap, non-blocking counters for a metrics scrape.
+
+        Everything here is event-loop state or a plain attribute — no
+        pipe round trips, so a scrape stays fast even while every seat
+        is busy (or crashed).  The expensive per-worker/cache rows come
+        from :meth:`service_stats` instead.
+        """
+        slots_free = self._slots._value
+        running = min(self._slots_total - slots_free, self.active_jobs)
+        return {
+            "backend": self._backend.name,
+            "admitted": self._admitted,
+            "completed": self._completed,
+            "active": self.active_jobs,
+            "jobs_by_op": dict(self._admitted_by_op),
+            "slots_total": self._slots_total,
+            "slots_free": slots_free,
+            # Admitted-but-not-sliced jobs waiting on the slot semaphore.
+            "queue_depth": max(0, self.active_jobs - running),
+            "slice_seconds": self._slice_hist.snapshot(),
+            "backend_telemetry": self._backend.telemetry(),
+        }
+
+    def probe(self) -> bool:
+        """One execution-backend health round trip (may block briefly)."""
+        return self._backend.probe()
 
     def service_stats(self) -> dict:
         """The full observability payload behind the ``stats`` job kind.

@@ -24,6 +24,7 @@ Use :class:`EnumerationServer` inside an existing event loop, or
 from __future__ import annotations
 
 import asyncio
+import signal
 import threading
 
 from .protocol import (
@@ -325,7 +326,9 @@ def serve(
     backend: str | None = None,
     worker_processes: int | None = None,
     cache_dir: str | None = None,
+    http_port: int | None = None,
     on_bound=None,
+    on_http_bound=None,
     stop: "threading.Event | None" = None,
     announce=print,
 ) -> None:
@@ -335,6 +338,16 @@ def serve(
     listening; setting the optional ``stop`` event from another thread
     shuts the server down cleanly — the hooks that let tests drive this
     exact entry point.
+
+    SIGINT/SIGTERM are turned into an *orderly* stop via
+    ``loop.add_signal_handler`` rather than left to propagate as
+    :class:`KeyboardInterrupt`: the exception path interrupts
+    ``server.stop()`` mid-teardown at an arbitrary await point, which
+    can exit before the worker seats are joined and the shared artifact
+    store is closed (orphaned children, hot sqlite WAL).  With the
+    handler, a signal merely sets the stop flag and the one teardown
+    path runs to completion: cancel jobs → join worker processes →
+    close backend sessions (checkpointing the store's WAL).
     """
 
     async def main() -> None:
@@ -348,22 +361,56 @@ def serve(
             worker_processes=worker_processes,
             cache_dir=cache_dir,
         )
+        loop = asyncio.get_running_loop()
+        interrupted = asyncio.Event()
+        hooked: list[signal.Signals] = []
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, interrupted.set)
+            except (NotImplementedError, RuntimeError, ValueError):
+                continue  # non-main thread or platform without support
+            hooked.append(signum)
+        gateway = None
+        if http_port is not None:
+            from ..gateway.server import GatewayServer
+
+            # Shares the scheduler: HTTP and TCP clients hit the same
+            # sessions, worker seats, and artifact store.
+            gateway = GatewayServer(
+                scheduler=server.scheduler, host=host, port=http_port
+            )
         bound_host, bound_port = await server.start()
         announce(f"repro service listening on {bound_host}:{bound_port}")
         if on_bound is not None:
             on_bound((bound_host, bound_port))
+        if gateway is not None:
+            http_host, http_bound = await gateway.start()
+            announce(
+                f"repro http gateway listening on {http_host}:{http_bound}"
+            )
+            if on_http_bound is not None:
+                on_http_bound((http_host, http_bound))
         try:
             if stop is None:
-                await server.serve_forever()
+                await interrupted.wait()
             else:
-                while not stop.is_set():
+                while not stop.is_set() and not interrupted.is_set():
                     await asyncio.sleep(0.05)
         except asyncio.CancelledError:
             pass
         finally:
+            # From here on a *second* signal still just sets the event:
+            # teardown stays uninterruptible until the handlers unhook.
+            announce("repro service shutting down")
+            if gateway is not None:
+                # Stops the HTTP listener and cancels its streams; the
+                # shared scheduler closes below, once, with the server.
+                await gateway.stop()
             await server.stop()
+            for signum in hooked:
+                loop.remove_signal_handler(signum)
 
     try:
         asyncio.run(main())
     except KeyboardInterrupt:
-        pass
+        pass  # signal arrived where no handler could be installed

@@ -71,7 +71,12 @@ import zlib
 
 from ..api import load_checkpoint
 from ..api.fingerprint import graph_fingerprint
-from .protocol import ProtocolError, new_token_key, verify_token
+from .protocol import (
+    ProtocolError,
+    TokenAuthError,
+    resolve_token_key,
+    verify_token,
+)
 from .scheduler import ExecutionBackend, ScheduledJob, _JobRunner
 
 __all__ = ["ProcessWorkerBackend", "WorkerPool"]
@@ -100,8 +105,19 @@ def _worker_main(
     main thread sends, so the worker side needs no send lock.
     """
     import queue
+    import signal
 
     from ..api import Session
+
+    # A foreground ``repro serve`` shares its process group with the
+    # terminal, so Ctrl-C delivers SIGINT here too — mid-slice, possibly
+    # mid-sqlite-write.  Shutdown must stay parent-orchestrated (the
+    # ``shutdown`` message, then join): ignore the signal and let the
+    # pool wind this seat down in order.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # non-main thread / exotic platform
+        pass
 
     work: "queue.SimpleQueue" = queue.SimpleQueue()
     state_lock = threading.Lock()
@@ -158,6 +174,38 @@ def _worker_main(
             cancel_events.pop(job_id, None)
             pre_cancelled.discard(job_id)
 
+    try:
+        _worker_loop(
+            conn, token_key, work, state_lock, cancel_events, pre_cancelled,
+            sessions, runners, session_for, drop,
+        )
+    finally:
+        # Orderly seat teardown even when the loop dies on a pipe error:
+        # release streams, then close the sessions — closing a session
+        # closes the store handle it owns, checkpointing the shared
+        # sqlite WAL instead of abandoning it hot.
+        for runner in list(runners.values()):
+            runner.close()
+        runners.clear()
+        for session in sessions.values():
+            session.close()
+        sessions.clear()
+        conn.close()
+
+
+def _worker_loop(
+    conn,
+    token_key: bytes,
+    work,
+    state_lock,
+    cancel_events,
+    pre_cancelled,
+    sessions,
+    runners,
+    session_for,
+    drop,
+) -> None:
+    """The worker's message loop (split out so teardown wraps it)."""
     while True:
         message = work.get()
         if message is None:
@@ -236,13 +284,15 @@ def _worker_main(
                             ),
                         )
                     )
+            except TokenAuthError as exc:
+                drop(job_id)
+                conn.send((seq, ("error", job_id, "token", str(exc))))
             except ProtocolError as exc:
                 drop(job_id)
                 conn.send((seq, ("error", job_id, "protocol", str(exc))))
             except Exception as exc:
                 drop(job_id)
                 conn.send((seq, ("error", job_id, "internal", str(exc))))
-    conn.close()
 
 
 # ----------------------------------------------------------------------
@@ -425,6 +475,33 @@ class WorkerPool:
             if handle.active_jobs > 0:
                 handle.active_jobs -= 1
 
+    def probe(self) -> bool:
+        """One ``ping`` round trip against a live seat (``/health``).
+
+        Tries the least-loaded seats first; a busy pool degrades to a
+        slower probe (waiting on the dispatch lock), a dead pool — every
+        seat crashed faster than revival — reports unhealthy.
+        """
+        with self._lock:
+            if self._closed:
+                return False
+            self._revive_locked()
+            workers = sorted(
+                self._workers, key=lambda w: (w.active_jobs, w.index)
+            )
+        for worker in workers:
+            if not worker.alive:
+                continue
+            try:
+                reply = worker.try_round_trip(
+                    "ping", lock_timeout=2.0, reply_timeout=15.0
+                )
+            except (TimeoutError, EOFError, OSError):
+                continue
+            if reply is not None and reply[0] == "pong":
+                return True
+        return False
+
     def worker_stats(self) -> list[dict]:
         """One introspection row per seat (best-effort pipe probes)."""
         with self._lock:
@@ -605,6 +682,8 @@ class _RemoteRunner:
             if kind == "error":
                 _, _job_id, error_kind, message = reply
                 self._finish(handle)
+                if error_kind == "token":
+                    raise TokenAuthError(message)
                 if error_kind == "protocol":
                     raise ProtocolError(message)
                 raise RuntimeError(message)
@@ -664,7 +743,7 @@ class ProcessWorkerBackend(ExecutionBackend):
     ) -> None:
         if workers is None:
             workers = max(os.cpu_count() or 1, 2)
-        self._token_key = token_key if token_key is not None else new_token_key()
+        self._token_key = resolve_token_key(token_key)
         self._max_redispatch = max_redispatch
         self.pool = WorkerPool(
             workers,
@@ -680,6 +759,12 @@ class ProcessWorkerBackend(ExecutionBackend):
 
     def worker_stats(self) -> list[dict]:
         return self.pool.worker_stats()
+
+    def probe(self) -> bool:
+        return self.pool.probe()
+
+    def telemetry(self) -> dict:
+        return {"workers": self.pool.size, "respawns": self.pool.respawns}
 
     def close(self) -> None:
         self.pool.close()

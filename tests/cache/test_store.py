@@ -196,3 +196,73 @@ def test_no_warnings_on_clean_operation(store):
         store.put("context", "k", "v")
         assert store.get("context", "k") == "v"
         assert store.get("context", "missing") is None
+
+
+class TestMonotonicRecency:
+    """Regression: LRU recency once used wall-clock ``time.time()``, so a
+    backwards clock step (NTP correction, VM suspend) made fresh accesses
+    look *older* than stale entries and evicted the hottest artifacts."""
+
+    def _last_used(self, store, kind, key):
+        (value,) = store._conn.execute(
+            "SELECT last_used FROM artifacts WHERE kind = ? AND key = ?",
+            (kind, key),
+        ).fetchone()
+        return value
+
+    def test_backwards_clock_step_does_not_scramble_eviction(
+        self, store, monkeypatch
+    ):
+        import types
+
+        from repro.cache import store as store_mod
+
+        # Every wall-clock read returns an older instant than the last —
+        # the adversarial regime the counter must be immune to.
+        ticks = iter(range(1_000_000, 0, -1000))
+        monkeypatch.setattr(
+            store_mod,
+            "time",
+            types.SimpleNamespace(time=lambda: float(next(ticks))),
+        )
+        store.put("context", "a", b"a" * 100)
+        store.put("context", "b", b"b" * 100)
+        assert store.get("context", "a") is not None  # a is now the hottest
+        store.max_bytes = store.stats()["total_bytes"] + 50
+        store.put("context", "c", b"c" * 100)
+        # Wall-clock recency would have stamped a's refresh with the
+        # OLDEST time and evicted it; access order must win instead.
+        assert store.get("context", "b") is None
+        assert store.get("context", "a") is not None
+        assert store.get("context", "c") is not None
+
+    def test_forged_future_timestamp_loses_to_fresh_accesses(self, store):
+        store.put("context", "hot", b"h" * 100)
+        store.put("context", "stale", b"s" * 100)
+        # Forge a row written while the clock was far ahead (out-of-order
+        # wall-clock values as pre-fix stores would have persisted them).
+        store._conn.execute(
+            "UPDATE artifacts SET last_used = 9e15 "
+            "WHERE kind = 'context' AND key = 'stale'"
+        )
+        assert store.get("context", "hot") is not None
+        # The counter continues past ANY persisted value, forged or not.
+        assert self._last_used(store, "context", "hot") > 9e15
+        store.max_bytes = store.stats()["total_bytes"] + 50
+        store.put("context", "fresh", b"f" * 100)
+        assert store.get("context", "stale") is None
+        assert store.get("context", "hot") is not None
+
+    def test_recency_is_strictly_increasing_across_instances(self, tmp_path):
+        with ArtifactStore(tmp_path / "c", schema_tag="t") as s1:
+            s1.put("context", "a", 1)
+            s1.put("context", "b", 2)
+            first = self._last_used(s1, "context", "a")
+            s1.get("context", "a")
+            refreshed = self._last_used(s1, "context", "a")
+            assert refreshed > first
+        # A new handle (another process, after a restart) continues the
+        # counter from the table itself — no per-process state to desync.
+        with ArtifactStore(tmp_path / "c", schema_tag="t") as s2:
+            s2.get("context", "b")
+            assert self._last_used(s2, "context", "b") > refreshed

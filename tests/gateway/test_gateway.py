@@ -1,0 +1,346 @@
+"""Gateway endpoints, typed-handler validation, and failure paths.
+
+Each test drives a real :class:`~repro.gateway.GatewayThread` over the
+blocking :class:`~repro.gateway.GatewayClient` — the exact deployment
+shape of ``repro serve --http``.
+"""
+
+from __future__ import annotations
+
+import base64
+import itertools
+import os
+import signal
+import time
+
+import pytest
+
+from repro.api import Session
+from repro.gateway import GatewayClient, GatewayError, GatewayThread
+from repro.graphs.generators import (
+    connected_erdos_renyi,
+    paper_example_graph,
+)
+from repro.service.protocol import graph_to_wire, serialize_answers
+
+
+@pytest.fixture(scope="module")
+def gateway(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("gateway-cache")
+    with GatewayThread(
+        max_workers=2, slice_answers=2, cache_dir=str(cache_dir)
+    ) as handle:
+        yield handle
+
+
+@pytest.fixture()
+def client(gateway):
+    return GatewayClient(*gateway.address, timeout=60.0)
+
+
+def serial_lines(graph, cost, k):
+    session = Session()
+    stream = session.stream(graph, cost)
+    try:
+        results = list(itertools.islice(stream, k))
+    finally:
+        stream.close()
+    return serialize_answers(results)
+
+
+def wait_for_idle(gateway, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if gateway.scheduler_stats()["active"] == 0:
+            return
+        time.sleep(0.02)
+    raise AssertionError(
+        f"scheduler still busy after {timeout}s: {gateway.scheduler_stats()}"
+    )
+
+
+class TestObservabilityEndpoints:
+    def test_health_reports_backend_and_probe(self, client):
+        response = client.health()
+        assert response.status == 200
+        payload = response.json()
+        assert payload["healthy"] is True
+        assert payload["backend"] == "inprocess"
+
+    def test_status_exposes_scheduler_counters(self, client):
+        payload = client.get_json("/v1/status")
+        assert {
+            "admitted", "completed", "active", "jobs_by_op",
+            "queue_depth", "slots_total", "slots_free", "slice_seconds",
+        } <= set(payload)
+
+    def test_metrics_page_has_the_core_series(self, client):
+        graph = paper_example_graph()
+        client.submit(
+            {"op": "top", "graph": graph_to_wire(graph), "cost": "fill",
+             "k": 3}
+        ).collect()
+        page = client.metrics()
+        assert "# TYPE repro_jobs_admitted_total counter" in page
+        assert 'repro_jobs_by_kind_total{op="top"}' in page
+        assert "repro_queue_depth " in page
+        assert 'repro_slice_seconds_bucket{le="+Inf"}' in page
+        assert "repro_slice_seconds_count " in page
+        assert "repro_disk_cache_enabled 1" in page
+        assert "repro_disk_cache_hits_total" in page
+        assert "repro_disk_cache_misses_total" in page
+
+    def test_routing_refusals(self, client):
+        assert client.request("GET", "/nope").status == 404
+        assert client.request("DELETE", "/metrics").status == 405
+        assert client.request("GET", "/v1/jobs/999999").status == 404
+        assert client.request("POST", "/v1/jobs/999999/cancel").status == 404
+
+
+class TestSubmission:
+    def test_ndjson_stream_matches_serial_bytes(self, client):
+        graph = connected_erdos_renyi(10, 0.35, seed=0)
+        stream = client.submit(
+            {"op": "top", "graph": graph_to_wire(graph), "cost": "fill",
+             "k": 5}
+        ).collect()
+        assert stream.status == 200
+        assert stream.headers["content-type"] == "application/x-ndjson"
+        assert stream.answer_lines == serial_lines(graph, "fill", 5)
+        assert stream.terminal["type"] == "stats"
+
+    def test_sse_stream_matches_serial_bytes(self, client):
+        graph = connected_erdos_renyi(10, 0.35, seed=0)
+        stream = client.submit(
+            {"op": "top", "graph": graph_to_wire(graph), "cost": "fill",
+             "k": 5},
+            sse=True,
+        ).collect()
+        assert stream.status == 200
+        assert stream.headers["content-type"] == "text/event-stream"
+        assert stream.answer_lines == serial_lines(graph, "fill", 5)
+
+    def test_resume_token_round_trips_over_http(self, client):
+        graph = connected_erdos_renyi(10, 0.35, seed=2)
+        first = client.submit(
+            {"op": "top", "graph": graph_to_wire(graph), "cost": "fill",
+             "k": 4}
+        ).collect()
+        token = first.terminal["checkpoint"]
+        assert token
+        rest = client.submit(
+            {"op": "top", "token": token, "k": 4}
+        ).collect()
+        got = first.answer_lines + rest.answer_lines
+        assert got == serial_lines(graph, "fill", 8)
+
+    def test_stats_op_streams_service_stats(self, client):
+        stream = client.submit({"op": "stats"}).collect()
+        assert stream.terminal["type"] == "service-stats"
+        assert stream.terminal["backend"] == "inprocess"
+
+
+class TestValidationFailures:
+    def test_malformed_json_body_is_400(self, client, gateway):
+        from repro.gateway.client import _Connection
+
+        conn = _Connection(*gateway.address, 30.0)
+        try:
+            conn.send_request(
+                "POST", "/v1/jobs", b'{"op": "top", "k": ',
+                {"Content-Type": "application/json"},
+            )
+            status, headers = conn.read_head()
+            body = conn.read_body(headers)
+        finally:
+            conn.close()
+        assert status == 400
+        assert b"not JSON" in body
+
+    def test_unknown_op_is_400(self, client):
+        with pytest.raises(GatewayError) as excinfo:
+            client.submit({"op": "frobnicate"})
+        assert excinfo.value.status == 400
+        assert "unknown op" in str(excinfo.value)
+
+    def test_unknown_field_is_400_and_names_the_field(self, client):
+        graph = graph_to_wire(paper_example_graph())
+        with pytest.raises(GatewayError) as excinfo:
+            client.submit({"op": "top", "graph": graph, "k": 3, "frob": 1})
+        assert excinfo.value.status == 400
+        assert "frob" in str(excinfo.value)
+
+    def test_missing_required_field_is_400(self, client):
+        graph = graph_to_wire(paper_example_graph())
+        with pytest.raises(GatewayError) as excinfo:
+            client.submit({"op": "top", "graph": graph})
+        assert excinfo.value.status == 400
+        assert "requires field(s) k" in str(excinfo.value)
+
+    def test_unknown_kernel_is_400(self, client):
+        graph = graph_to_wire(paper_example_graph())
+        with pytest.raises(GatewayError) as excinfo:
+            client.submit(
+                {"op": "top", "graph": graph, "k": 3, "kernel": "quantum"}
+            )
+        assert excinfo.value.status == 400
+        assert "kernel" in str(excinfo.value)
+
+    def test_unknown_cost_maps_the_inband_error_to_400(self, client):
+        # Semantic failures surface at job start, after the stream
+        # opened: the deferred status line turns the first in-band
+        # error frame into the HTTP status.
+        graph = graph_to_wire(paper_example_graph())
+        stream = client.submit(
+            {"op": "top", "graph": graph, "cost": "no-such-cost", "k": 3}
+        ).collect()
+        assert stream.status == 400
+        assert stream.terminal["type"] == "error"
+        assert stream.terminal["code"] == "bad-request"
+        assert "unknown cost" in stream.terminal["message"]
+
+    def test_foreign_token_is_401_token_key_mismatch(self, client):
+        forged = base64.b64encode(b"\x5a" * 96).decode("ascii")
+        stream = client.submit({"op": "enumerate", "token": forged}).collect()
+        assert stream.status == 401
+        assert stream.terminal["code"] == "token_key_mismatch"
+
+    def test_truncated_token_stays_400(self, client):
+        stub = base64.b64encode(b"abc").decode("ascii")
+        stream = client.submit({"op": "enumerate", "token": stub}).collect()
+        assert stream.status == 400
+        assert stream.terminal["code"] == "bad-request"
+
+
+class TestJobRegistryAndCancel:
+    def test_live_job_listed_cancelled_and_token_replayable(
+        self, client, gateway
+    ):
+        graph = connected_erdos_renyi(12, 0.3, seed=6)
+        stream = client.submit(
+            {"op": "enumerate", "graph": graph_to_wire(graph),
+             "cost": "fill", "k": 100_000},
+            sse=True,
+        )
+        events = iter(stream)
+        event, _line = next(events)
+        assert event == "answer"
+
+        jobs = client.get_json("/v1/jobs")["jobs"]
+        assert len(jobs) == 1
+        job_id = jobs[0]["id"]
+        assert jobs[0]["op"] == "enumerate"
+        assert client.get_json(f"/v1/jobs/{job_id}")["id"] == job_id
+
+        response = client.cancel(job_id)
+        assert response.status == 202
+        for event, _line in events:
+            pass
+        assert stream.terminal["type"] == "cancelled"
+        token = stream.terminal["checkpoint"]
+        assert token
+        stream.close()
+        wait_for_idle(gateway)
+        assert client.get_json("/v1/jobs")["jobs"] == []
+
+        # The cancel token resumes the exact sequence over HTTP.
+        emitted = len(stream.answer_lines)
+        rest = client.submit(
+            {"op": "enumerate", "token": token, "k": 3}
+        ).collect()
+        expected = serial_lines(graph, "fill", emitted + 3)
+        assert stream.answer_lines + rest.answer_lines == expected
+
+    def test_mid_sse_disconnect_releases_the_slot_and_replays(
+        self, client, gateway
+    ):
+        graph = connected_erdos_renyi(12, 0.3, seed=6)
+        first = client.submit(
+            {"op": "top", "graph": graph_to_wire(graph), "cost": "fill",
+             "k": 4}
+        ).collect()
+        token = first.terminal["checkpoint"]
+
+        # Resume over SSE, then vanish mid-stream without a cancel.
+        resumed = client.submit(
+            {"op": "enumerate", "token": token, "k": 100_000}, sse=True
+        )
+        events = iter(resumed)
+        event, _line = next(events)
+        assert event == "answer"
+        resumed.abort()
+
+        # The EOF watcher cancels the job: the slot frees up without
+        # any client-side handshake.
+        wait_for_idle(gateway)
+
+        # The token the client still holds replays the continuation —
+        # a dropped connection costs nothing but the re-request.
+        replay = client.submit(
+            {"op": "enumerate", "token": token, "k": 4}
+        ).collect()
+        assert replay.status == 200
+        assert (
+            first.answer_lines + replay.answer_lines
+            == serial_lines(graph, "fill", 8)
+        )
+
+
+@pytest.mark.skipif(
+    "process" not in os.environ.get(
+        "REPRO_SERVICE_BACKENDS", "inprocess,process"
+    ),
+    reason="process backend excluded by REPRO_SERVICE_BACKENDS",
+)
+class TestMetricsUnderWorkerCrash:
+    def test_metrics_stay_live_and_count_the_respawn(self):
+        with GatewayThread(
+            backend="process", worker_processes=2, max_workers=2,
+            slice_answers=2,
+        ) as handle:
+            client = GatewayClient(*handle.address, timeout=120.0)
+            stats = client.submit({"op": "stats"}).collect()
+            pids = [row["pid"] for row in stats.terminal["workers"]]
+            assert len(pids) == 2
+
+            graph = connected_erdos_renyi(12, 0.3, seed=6)
+            stream = client.submit(
+                {"op": "enumerate", "graph": graph_to_wire(graph),
+                 "cost": "fill", "k": 40},
+                sse=True,
+            )
+            events = iter(stream)
+            next(events)  # the job is placed on a worker seat
+            # Kill both original seats: whichever one holds the job,
+            # its next slice hits a broken pipe and redispatches.
+            for pid in pids:
+                os.kill(pid, signal.SIGKILL)
+
+            # /metrics keeps answering while the pool respawns: the
+            # service-stats round trip inside the handler must tolerate
+            # a dead seat, not 500.
+            page = client.metrics()
+            assert "repro_queue_depth " in page
+            assert "repro_worker_processes 2" in page
+
+            # The stream itself survives via crash redispatch, and the
+            # redispatched answers are still byte-identical.
+            for _ in events:
+                pass
+            assert stream.terminal["type"] == "stats"
+            assert stream.answer_lines == serial_lines(graph, "fill", 40)
+            stream.close()
+
+            deadline = time.monotonic() + 15.0
+            while time.monotonic() < deadline:
+                page = client.metrics()
+                for line in page.splitlines():
+                    if line.startswith("repro_worker_respawns_total"):
+                        respawns = int(float(line.split()[-1]))
+                        break
+                else:
+                    respawns = 0
+                if respawns >= 1:
+                    break
+                time.sleep(0.1)
+            assert respawns >= 1

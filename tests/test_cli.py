@@ -190,6 +190,56 @@ class TestServeSubmit:
         assert out.count("#") >= 1
         assert "stats:" in out
 
+    def test_submit_format_table(self, service, gr_file, capsys):
+        host, port = service
+        rc = main([
+            "submit", gr_file, "--cost", "fill", "--top", "3",
+            "--format", "table", "--host", host, "--port", str(port),
+        ])
+        captured = capsys.readouterr()
+        assert rc == 0
+        lines = captured.out.splitlines()
+        assert lines[0].split() == ["rank", "cost", "width", "bags"]
+        assert set(lines[1]) <= {"-", " "}
+        assert lines[2].startswith("0")
+        # Structured modes keep stdout machine-readable: the terminal
+        # summary moves to stderr.
+        assert "stats:" not in captured.out
+        assert "stats:" in captured.err
+
+    def test_submit_format_csv(self, service, gr_file, capsys):
+        import csv as csv_mod
+        import io as io_mod
+
+        host, port = service
+        rc = main([
+            "submit", gr_file, "--cost", "fill", "--top", "2",
+            "--format", "csv", "--host", host, "--port", str(port),
+        ])
+        captured = capsys.readouterr()
+        assert rc == 0
+        rows = list(csv_mod.reader(io_mod.StringIO(captured.out)))
+        assert rows[0] == ["rank", "cost", "width", "bags"]
+        assert len(rows) == 3
+        assert rows[1][0] == "0"
+
+    def test_submit_format_json(self, service, gr_file, capsys):
+        import json as json_mod
+
+        host, port = service
+        rc = main([
+            "submit", gr_file, "--cost", "fill", "--top", "2",
+            "--format", "json", "--host", host, "--port", str(port),
+        ])
+        captured = capsys.readouterr()
+        assert rc == 0
+        payload = json_mod.loads(captured.out)
+        assert [row["rank"] for row in payload] == [0, 1]
+        assert all(
+            isinstance(row["bags"], list) and row["cost"] >= 0
+            for row in payload
+        )
+
     def test_submit_checkpoint_resume_continues(
         self, service, gr_file, tmp_path, capsys
     ):
