@@ -33,6 +33,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
+from dataclasses import replace
 from itertools import islice
 
 from ..core.context import TriangulationContext
@@ -715,6 +716,13 @@ class Session:
         limit = request.result_limit
         if limit == 0:
             return self._empty_response(request, graph, started)
+        if (
+            self._store is not None
+            and context is None
+            and isinstance(request.cost, str)
+            and graph.num_vertices() > 0
+        ):
+            return self._ranked_with_answers(request, graph, started, limit)
         stream, meta = self._open(
             graph,
             request.cost,
@@ -726,6 +734,167 @@ class Session:
         return self._collect_ranked(
             stream, meta, limit, request.time_budget, started
         )
+
+    # ------------------------------------------------------------------
+    # The "answers" artifact kind: ranked prefixes served from disk
+    # ------------------------------------------------------------------
+    def _answers_probes(self, request: EnumerationRequest, fp: str):
+        """Key probes for a fresh (non-token) ranked request."""
+        from ..cache.answers import candidate_keys
+
+        spec = request.cost
+        effective = (
+            self._preprocess
+            if request.preprocess is None
+            else request.preprocess
+        )
+        applies = (
+            effective
+            and composition_for(spec) is not None
+            and not isinstance(
+                self._engine_spec(request.engine), ExpansionStrategy
+            )
+        )
+        return candidate_keys(
+            fingerprint=fp,
+            cost_spec=spec,
+            width_bound=request.width_bound,
+            kernel=self._kernel,
+            applies=applies,
+        )
+
+    def _replay_answers(
+        self,
+        record,
+        graph: Graph,
+        started: float,
+        start: int,
+        limit: int | None,
+    ) -> EnumerationResponse:
+        """Serve a covered request straight from a cached prefix.
+
+        Results are rebuilt from the cached (cost, bags, constraints)
+        rows — the same pure inputs the protocol's ``answer_frame``
+        renders — so served answers are identical to a live run's, with
+        ``elapsed_seconds`` 0.0 and ``engine="cache"`` marking the path.
+        """
+        from ..cache.answers import result_from_cached
+
+        served, _end, ckpt_bytes, exhausted_here = record.page(start, limit)
+        results = tuple(
+            result_from_cached(answer, graph, start + index)
+            for index, answer in enumerate(served)
+        )
+        checkpoint = (
+            load_checkpoint(ckpt_bytes) if ckpt_bytes is not None else None
+        )
+        stats = EnumerationStats(
+            fingerprint=record.fingerprint,
+            mode="ranked",
+            cost_spec=record.cost_spec,
+            emitted=len(results),
+            expansions=0,
+            init_seconds=0.0,
+            context_cached=False,
+            elapsed_seconds=time.perf_counter() - started,
+            engine="cache",
+            exhausted=exhausted_here,
+            timed_out=False,
+            preprocessed=record.preprocessed,
+        )
+        return EnumerationResponse(
+            results=results, stats=stats, checkpoint=checkpoint
+        )
+
+    def _publish_answers(
+        self, key: str, record, start: int, response: EnumerationResponse
+    ) -> None:
+        """Fold a live run's results into the prefix record under ``key``."""
+        from ..cache.answers import cached_from_result, merge_prefix
+
+        if response.checkpoint is None or self._store is None:
+            return
+        answers = tuple(
+            cached_from_result(result) for result in response.results
+        )
+        if record is None and not answers:
+            return  # an empty fresh record stores nothing servable
+        merged = merge_prefix(
+            record,
+            fingerprint=response.stats.fingerprint,
+            cost_spec=response.stats.cost_spec,
+            preprocessed=response.stats.preprocessed,
+            start=start,
+            answers=answers,
+            end_checkpoint=response.checkpoint.to_bytes(),
+            exhausted=response.stats.exhausted,
+        )
+        if merged is not None:
+            self._store.put("answers", key, merged)
+
+    def _ranked_with_answers(
+        self,
+        request: EnumerationRequest,
+        graph: Graph,
+        started: float,
+        limit: int | None,
+    ) -> EnumerationResponse:
+        """Ranked execution through the answer-prefix cache.
+
+        Covered request → replay from disk.  Longer request over a
+        non-exhausted record → resume from the stored frontier at the
+        prefix tip, enumerate only the missing tail, write the longer
+        prefix back.  Miss → live run, then publish the prefix.
+        """
+        from ..cache.answers import load_prefix
+
+        fp = graph_fingerprint(graph)
+        key, record = load_prefix(self._store, self._answers_probes(request, fp))
+        if record is not None and record.covers(0, limit):
+            return self._replay_answers(record, graph, started, 0, limit)
+        n = len(record.answers) if record is not None else 0
+        if (
+            record is not None
+            and not record.exhausted
+            and n > 0
+            and (limit is None or limit > n)
+            and n in record.checkpoints
+        ):
+            tip = load_checkpoint(record.checkpoints[n])
+            if not tip.exhausted:
+                stream, meta = self._reopen(tip, engine=request.engine)
+                remaining = None if limit is None else limit - n
+                tail = self._collect_ranked(
+                    stream, meta, remaining, request.time_budget, started
+                )
+                from ..cache.answers import result_from_cached
+
+                head = tuple(
+                    result_from_cached(answer, graph, index)
+                    for index, answer in enumerate(record.answers)
+                )
+                self._publish_answers(key, record, n, tail)
+                stats = replace(
+                    tail.stats, emitted=n + tail.stats.emitted
+                )
+                return EnumerationResponse(
+                    results=head + tail.results,
+                    stats=stats,
+                    checkpoint=tail.checkpoint,
+                )
+        stream, meta = self._open(
+            graph,
+            request.cost,
+            width_bound=request.width_bound,
+            engine=request.engine,
+            context=None,
+            preprocess=request.preprocess,
+        )
+        response = self._collect_ranked(
+            stream, meta, limit, request.time_budget, started
+        )
+        self._publish_answers(key, record, 0, response)
+        return response
 
     def _collect_ranked(
         self,
@@ -1120,7 +1289,73 @@ class Session:
         The concatenation of the emitting call's results and this call's
         results is bit-identical to one uninterrupted run; the response
         carries the next checkpoint, so pagination chains indefinitely.
+
+        With a disk store attached, a checkpoint whose position is
+        already covered by a cached answer prefix replays the cached
+        frames (skipping the delivered ones) instead of re-running the
+        enumeration; live continuations publish their stretch back.
         """
         started = time.perf_counter()
+        if isinstance(checkpoint, (bytes, bytearray)):
+            checkpoint = load_checkpoint(bytes(checkpoint))
+        replayed = self._resume_from_answers(checkpoint, k, cost, started)
+        if replayed is not None:
+            return replayed
         stream, meta = self._reopen(checkpoint, cost=cost, engine=engine)
-        return self._collect_ranked(stream, meta, k, time_budget, started)
+        response = self._collect_ranked(stream, meta, k, time_budget, started)
+        self._publish_resumed(checkpoint, response)
+        return response
+
+    def _resume_probes(self, checkpoint):
+        from ..cache.answers import candidate_keys
+
+        return candidate_keys(
+            fingerprint=checkpoint.fingerprint,
+            cost_spec=checkpoint.cost_spec,
+            width_bound=checkpoint.width_bound,
+            kernel=self._kernel,
+            applies=None,
+            composed=isinstance(checkpoint, ComposedCheckpoint),
+        )
+
+    def _resume_from_answers(
+        self,
+        checkpoint: "StreamCheckpoint | ComposedCheckpoint",
+        k: int | None,
+        cost: "str | object | None",
+        started: float,
+    ) -> EnumerationResponse | None:
+        """Replay a token resume from a cached prefix, or ``None``."""
+        if (
+            self._store is None
+            or checkpoint.cost_spec is None
+            or checkpoint.exhausted
+        ):
+            return None
+        if isinstance(cost, str) and cost != checkpoint.cost_spec:
+            return None  # the live path raises the proper mismatch error
+        from ..cache.answers import load_prefix
+
+        _key, record = load_prefix(
+            self._store, self._resume_probes(checkpoint)
+        )
+        start = checkpoint.next_rank
+        if record is None or not record.covers(start, k):
+            return None
+        graph = checkpoint.restore_graph()
+        return self._replay_answers(record, graph, started, start, k)
+
+    def _publish_resumed(
+        self,
+        checkpoint: "StreamCheckpoint | ComposedCheckpoint",
+        response: EnumerationResponse,
+    ) -> None:
+        """Extend the cached prefix with a live continuation's stretch."""
+        if self._store is None or checkpoint.cost_spec is None:
+            return
+        from ..cache.answers import load_prefix
+
+        key, record = load_prefix(
+            self._store, self._resume_probes(checkpoint)
+        )
+        self._publish_answers(key, record, checkpoint.next_rank, response)

@@ -5,8 +5,12 @@ of content-addressed inputs: a
 :class:`~repro.core.context.TriangulationContext` of the graph
 fingerprint (plus width bound and kernel), a prepared DP table of the
 context and a cost spec, a :class:`~repro.preprocess.recompose
-.PreprocessPlan` of the graph and a duplicate-sensitivity flag.  The
-session layer already caches all three in memory — this package makes
+.PreprocessPlan` of the graph and a duplicate-sensitivity flag — and,
+since the ranked sequence itself is deterministic, the enumerated
+*answers*: :class:`~repro.cache.answers.AnswerPrefix` records hold the
+first k results plus the frontier checkpoint at k, so repeat requests
+replay from disk and longer requests resume mid-sequence.  The
+session layer already caches the first three in memory — this package makes
 those caches survive the process: a single sqlite-backed
 :class:`~repro.cache.store.ArtifactStore` shared by every session (and
 every ``repro serve`` worker process) pointed at the same directory, so
@@ -34,12 +38,21 @@ is treated as a miss and evicted — never a crash (see
 
 from __future__ import annotations
 
+from .answers import (
+    ANSWERS_VERSION,
+    AnswerPrefix,
+    CachedAnswer,
+    cached_from_result,
+    merge_prefix,
+    result_from_cached,
+)
 from .store import (
     ArtifactStore,
     CacheIntegrityWarning,
     DEFAULT_MAX_BYTES,
     ENV_CACHE_DIR,
     ENV_MAX_BYTES,
+    answers_key,
     context_key,
     default_schema_tag,
     open_store,
@@ -50,17 +63,24 @@ from .store import (
 from .warm import WarmReport, warm_graphs
 
 __all__ = [
+    "ANSWERS_VERSION",
+    "AnswerPrefix",
     "ArtifactStore",
     "CacheIntegrityWarning",
+    "CachedAnswer",
     "DEFAULT_MAX_BYTES",
     "ENV_CACHE_DIR",
     "ENV_MAX_BYTES",
     "WarmReport",
+    "answers_key",
+    "cached_from_result",
     "context_key",
     "default_schema_tag",
+    "merge_prefix",
     "open_store",
     "plan_key",
     "prepared_key",
     "resolve_cache_dir",
+    "result_from_cached",
     "warm_graphs",
 ]

@@ -8,10 +8,11 @@ WAL mode.  Each row is one artifact::
     (kind, key) -> (schema_tag, payload, nbytes, created_at, last_used)
 
 ``kind`` names the artifact family (``"context"``, ``"prepared"``,
-``"plan"``); ``key`` is the versioned content key built by
-:func:`context_key` / :func:`prepared_key` / :func:`plan_key` from the
-graph's content fingerprint plus every input the artifact depends on
-(width bound, graph kernel, cost spec, duplicate-sensitivity).  The
+``"plan"``, ``"answers"``); ``key`` is the versioned content key built
+by :func:`context_key` / :func:`prepared_key` / :func:`plan_key` /
+:func:`answers_key` from the graph's content fingerprint plus every
+input the artifact depends on (width bound, graph kernel, cost spec,
+duplicate-sensitivity, preprocess mode).  The
 schema tag — :func:`default_schema_tag`, which folds in the cache format
 version and the checkpoint payload versions — rides both in the row and
 *inside* the payload, so a blob read by a build with different persisted
@@ -82,6 +83,7 @@ __all__ = [
     "context_key",
     "prepared_key",
     "plan_key",
+    "answers_key",
     "default_schema_tag",
     "encode_payload",
     "decode_payload",
@@ -164,6 +166,29 @@ def prepared_key(
 def plan_key(fingerprint: str, duplicate_sensitive: bool) -> str:
     """Key of a cached :class:`~repro.preprocess.recompose.PreprocessPlan`."""
     return f"{fingerprint}|dup={int(duplicate_sensitive)}"
+
+
+def answers_key(
+    fingerprint: str,
+    cost_spec: str,
+    width_bound: int | None,
+    kernel: str,
+    preprocess: bool,
+) -> str:
+    """Key of a cached :class:`~repro.cache.answers.AnswerPrefix`.
+
+    ``preprocess`` is the *requested* mode (resolved against whether the
+    cost composes — see :func:`repro.cache.answers.preprocess_applies_for`),
+    not the plan outcome, so it is computable before any plan exists.
+    The answers record version rides in the key: a layout change makes
+    old prefixes clean misses.
+    """
+    from .answers import ANSWERS_VERSION
+
+    return (
+        f"{fingerprint}|cost={cost_spec}|wb={width_bound}|kernel={kernel}"
+        f"|pp={int(preprocess)}|av={ANSWERS_VERSION}"
+    )
 
 
 # ----------------------------------------------------------------------
@@ -302,6 +327,12 @@ class ArtifactStore:
             isolation_level=None,  # autocommit; transactions are explicit
         )
         try:
+            # Belt and braces with the connect() timeout: the busy
+            # handler also covers statements issued after connect (the
+            # recency bump, checkpoint writes), so a writer holding the
+            # lock surfaces as a wait, not an instant
+            # ``sqlite3.OperationalError: database is locked``.
+            conn.execute("PRAGMA busy_timeout=30000")
             conn.execute("PRAGMA journal_mode=WAL")
             conn.execute("PRAGMA synchronous=NORMAL")
             conn.execute(
@@ -346,11 +377,13 @@ class ArtifactStore:
                 return None
             counters = self._counter(kind)
             try:
-                row = self._conn.execute(
-                    "SELECT schema_tag, payload FROM artifacts "
-                    "WHERE kind = ? AND key = ?",
-                    (kind, key),
-                ).fetchone()
+                row = self._retry_locked(
+                    lambda: self._conn.execute(
+                        "SELECT schema_tag, payload FROM artifacts "
+                        "WHERE kind = ? AND key = ?",
+                        (kind, key),
+                    ).fetchone()
+                )
             except sqlite3.DatabaseError as exc:
                 counters["misses"] += 1
                 counters["corrupt"] += 1
@@ -389,15 +422,37 @@ class ArtifactStore:
                 # Monotonic recency: the next counter value comes from the
                 # table itself (one atomic statement), never the wall
                 # clock — a backwards clock step must not reorder LRU.
-                self._conn.execute(
-                    "UPDATE artifacts SET last_used = "
-                    "(SELECT COALESCE(MAX(last_used), 0) + 1 FROM artifacts) "
-                    "WHERE kind = ? AND key = ?",
-                    (kind, key),
+                # Retried on lock contention, but *never* allowed to
+                # raise: recency is best-effort, the hit already served.
+                self._retry_locked(
+                    lambda: self._conn.execute(
+                        "UPDATE artifacts SET last_used = "
+                        "(SELECT COALESCE(MAX(last_used), 0) + 1 FROM artifacts) "
+                        "WHERE kind = ? AND key = ?",
+                        (kind, key),
+                    )
                 )
             except sqlite3.DatabaseError:
-                pass  # LRU recency is best-effort; the hit already served
+                pass
             return obj
+
+    @staticmethod
+    def _retry_locked(op, attempts: int = 3, backoff: float = 0.01):
+        """Run ``op``, retrying brief ``database is locked`` bursts.
+
+        The 30 s ``busy_timeout`` handles writers that hold the lock;
+        this covers the raced window sqlite's busy handler does not (a
+        writer committing between our statement's lock probe and
+        acquisition).  The final failure propagates for the caller's
+        own miss/ignore policy.
+        """
+        for attempt in range(attempts):
+            try:
+                return op()
+            except sqlite3.OperationalError as exc:
+                if "locked" not in str(exc).lower() or attempt == attempts - 1:
+                    raise
+                time.sleep(backoff * (attempt + 1))
 
     def put(self, kind: str, key: str, obj: object) -> bool:
         """Publish an artifact; returns whether it was stored.

@@ -54,6 +54,7 @@ def warm_graphs(
     store=None,
     kernel: str = "bitset",
     width_bound: int | None = None,
+    top: int | None = None,
     announce=None,
 ) -> WarmReport:
     """Warm the store for every graph × cost pair; returns a report.
@@ -64,6 +65,9 @@ def warm_graphs(
     variable must resolve to a store — warming without one is an error,
     not a silent no-op.  A graph that fails (unreadable file, enumeration
     error) is reported and does not abort the rest of the pass.
+    ``top`` (``repro cache warm --top K``) additionally enumerates and
+    stores the top-K *answer prefix* per pair, so repeat ``top``/
+    ``enumerate`` requests are later served straight from disk.
     ``announce`` (if given) is called with one progress line per pair.
     """
     from ..api.session import Session
@@ -81,20 +85,31 @@ def warm_graphs(
             for cost in costs:
                 started = time.perf_counter()
                 try:
-                    stream = session.stream(
-                        graph, cost, width_bound=width_bound
-                    )
-                    try:
-                        # One answer forces the full pipeline — contexts,
-                        # prepared DP tables and (for composed streams)
-                        # every atom — through the store-backed caches.
-                        next(iter(stream), None)
-                        fingerprint = stream.fingerprint
-                        preprocessed = isinstance(
-                            stream, ComposedRankedStream
+                    if top is not None:
+                        # A full top-K collect both forces every init
+                        # artifact through the store *and* publishes the
+                        # ranked answer prefix with its checkpoint at K.
+                        response = session.top(
+                            graph, cost, k=top, width_bound=width_bound
                         )
-                    finally:
-                        stream.close()
+                        fingerprint = response.stats.fingerprint
+                        preprocessed = response.stats.preprocessed
+                    else:
+                        stream = session.stream(
+                            graph, cost, width_bound=width_bound
+                        )
+                        try:
+                            # One answer forces the full pipeline —
+                            # contexts, prepared DP tables and (for
+                            # composed streams) every atom — through the
+                            # store-backed caches.
+                            next(iter(stream), None)
+                            fingerprint = stream.fingerprint
+                            preprocessed = isinstance(
+                                stream, ComposedRankedStream
+                            )
+                        finally:
+                            stream.close()
                 except Exception as exc:
                     row = {"graph": label, "cost": cost, "error": str(exc)}
                     report.errors.append(row)

@@ -313,12 +313,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--width-bound", type=int, default=None,
         help="warm the width-bounded (MinTriangB) context instead",
     )
+    c_warm.add_argument(
+        "--top", type=int, default=None, metavar="K",
+        help="additionally store the top-K ranked answer prefix per "
+        "graph/cost pair, so repeat enumerate/top requests are served "
+        "straight from disk without a worker seat",
+    )
     _add_kernel_option(c_warm)
     _add_cache_dir_option(c_warm)
     c_clear = cache_sub.add_parser("clear", help="delete cached entries")
     c_clear.add_argument(
         "--kind",
-        choices=("context", "prepared", "plan"),
+        choices=("context", "prepared", "plan", "answers"),
         default=None,
         help="only drop one artifact kind (default: everything)",
     )
@@ -739,6 +745,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             cache_dir=args.cache_dir,
             kernel=args.kernel,
             width_bound=args.width_bound,
+            top=args.top,
             announce=print,
         )
     except ValueError as exc:

@@ -79,6 +79,12 @@ def render_metrics(snapshot: dict, service: dict | None = None) -> str:
         [(None, snapshot["active"])],
     )
     page.metric(
+        "answers_served_total", "counter",
+        "Jobs satisfied from the answer-prefix disk cache without a "
+        "worker seat.",
+        [(None, snapshot.get("answers_served", 0))],
+    )
+    page.metric(
         "queue_depth", "gauge",
         "Admitted jobs waiting for a worker slot.",
         [(None, snapshot["queue_depth"])],

@@ -237,7 +237,10 @@ class _JobRunner:
         self._resume_payload = resume_payload
         self._emitted = base_emitted
         self._skip = skip_answers
-        self._started = time.perf_counter()
+        # Deadlines (and elapsed reporting) are measured on
+        # time.monotonic(): an NTP step or VM clock correction must not
+        # prematurely expire — or immortalize — a job.
+        self._started = time.monotonic()
         deadline = (
             deadline_override
             if deadline_override is not None
@@ -246,6 +249,13 @@ class _JobRunner:
         self._deadline_at = (
             self._started + deadline if deadline is not None else None
         )
+        # Answer-prefix write-back state (pausable enumerate/top streams
+        # only): the absolute rank the collection starts at, and the
+        # answers gathered so far (None = disabled: over the cap, or a
+        # non-pausable op).
+        self._publish_base = 0
+        self._publish_cap = 0
+        self._collected: "list | None" = None
 
     # -- opening -------------------------------------------------------
     def _open(self) -> None:
@@ -291,6 +301,12 @@ class _JobRunner:
             self._iterator = self._diverse_iterator()
         else:  # decompositions
             self._iterator = self._decomposition_iterator()
+        if self._stream is not None and self._session.store is not None:
+            from ..cache.answers import max_prefix_answers
+
+            self._publish_base = self._stream.next_rank
+            self._publish_cap = max_prefix_answers()
+            self._collected = []
         self._opened = True
 
     def _diverse_iterator(self):
@@ -347,8 +363,92 @@ class _JobRunner:
         """Whether cancellation or the deadline should stop work now."""
         return self._cancel.is_set() or (
             self._deadline_at is not None
-            and time.perf_counter() > self._deadline_at
+            and time.monotonic() > self._deadline_at
         )
+
+    # -- answer-prefix write-back --------------------------------------
+    def _collect_answer(self, result) -> None:
+        """Accumulate one emitted answer for the prefix write-back.
+
+        Disabled (for the rest of the job) once the prefix would exceed
+        the cap: a partial stretch cannot be published, because the
+        terminal checkpoint sits at the *stream's* position, not the
+        truncated collection's.
+        """
+        if self._collected is None or self._stream is None:
+            return
+        from ..cache.answers import cached_from_result
+
+        self._collected.append(cached_from_result(result))
+        if self._publish_base + len(self._collected) > self._publish_cap:
+            self._collected = None
+
+    def _publish_prefix(self) -> None:
+        """Fold this job's enumerated stretch into the answers record.
+
+        Called at every terminal that leaves the stream in a
+        checkpoint-consistent state (stats, cancelled, deadline).
+        Best-effort: a cache failure must never break the job that
+        already produced its frames.
+        """
+        stream = self._stream
+        collected = self._collected
+        if stream is None or collected is None:
+            return
+        store = self._session.store
+        spec = stream.cost_spec
+        if store is None or spec is None:
+            return
+        try:
+            from ..cache.answers import (
+                candidate_keys,
+                load_prefix,
+                merge_prefix,
+                preprocess_applies_for,
+            )
+            from ..preprocess.recompose import ComposedRankedStream
+
+            if not collected and self._publish_base == 0:
+                return
+            checkpoint = stream.checkpoint()
+            composed = isinstance(stream, ComposedRankedStream)
+            if self._request.token is None and self._resume_payload is None:
+                applies = preprocess_applies_for(
+                    spec, self._request.preprocess
+                )
+                probes = candidate_keys(
+                    fingerprint=stream.fingerprint,
+                    cost_spec=spec,
+                    width_bound=checkpoint.width_bound,
+                    kernel=self._request.kernel,
+                    applies=applies,
+                )
+            else:
+                probes = candidate_keys(
+                    fingerprint=stream.fingerprint,
+                    cost_spec=spec,
+                    width_bound=checkpoint.width_bound,
+                    kernel=self._request.kernel,
+                    applies=None,
+                    composed=composed,
+                )
+            key, record = load_prefix(store, probes)
+            if record is None and not collected:
+                return
+            merged = merge_prefix(
+                record,
+                fingerprint=stream.fingerprint,
+                cost_spec=spec,
+                preprocessed=composed,
+                start=self._publish_base,
+                answers=tuple(collected),
+                end_checkpoint=checkpoint.to_bytes(),
+                exhausted=stream.exhausted,
+            )
+            if merged is not None:
+                store.put("answers", key, merged)
+        except Exception:
+            pass
 
     # -- checkpoints ---------------------------------------------------
     def _token_fields(self) -> dict:
@@ -390,7 +490,7 @@ class _JobRunner:
             "emitted": self._emitted,
             "expansions": source.expansions if source is not None else 0,
             "exhausted": exhausted,
-            "elapsed_seconds": round(time.perf_counter() - self._started, 6),
+            "elapsed_seconds": round(time.monotonic() - self._started, 6),
             "engine": source.engine_name if source is not None else "none",
             "preprocessed": (
                 source is not None and source.engine_name == "composed"
@@ -447,18 +547,21 @@ class _JobRunner:
                 if self._cancel.is_set():
                     frames.append({"type": "cancelled", "emitted": self._emitted,
                                    **self._token_fields()})
+                    self._publish_prefix()
                     self.close()
                     return frames, True
                 if (
                     self._deadline_at is not None
-                    and time.perf_counter() > self._deadline_at
+                    and time.monotonic() > self._deadline_at
                 ):
                     frames.append({"type": "deadline", "emitted": self._emitted,
                                    **self._token_fields()})
+                    self._publish_prefix()
                     self.close()
                     return frames, True
                 if limit is not None and self._emitted >= limit:
                     frames.append(self._stats_frame(drained=False))
+                    self._publish_prefix()
                     self.close()
                     return frames, True
                 try:
@@ -473,19 +576,21 @@ class _JobRunner:
                                        **self._token_fields()})
                     elif (
                         self._deadline_at is not None
-                        and time.perf_counter() > self._deadline_at
+                        and time.monotonic() > self._deadline_at
                     ):
                         frames.append({"type": "deadline",
                                        "emitted": self._emitted,
                                        **self._token_fields()})
                     else:
                         frames.append(self._stats_frame(drained=True))
+                    self._publish_prefix()
                     self.close()
                     return frames, True
                 if self._request.op == "diverse":
                     frame = answer_frame(result, rank=self._emitted)
                 else:
                     frame = answer_frame(result)
+                self._collect_answer(result)
                 self._emitted += 1
                 frames.append(frame)
             return frames, False
@@ -624,42 +729,48 @@ class InProcessBackend(ExecutionBackend):
             session.close()
 
 
-def aggregate_disk_cache(workers: list[dict]) -> dict:
+def aggregate_disk_cache(workers: list[dict], extra: "tuple | list" = ()) -> dict:
     """Fold per-worker disk-cache stats into one fleet-level view.
 
     The session counters (hits/misses/stores/evictions/corrupt) are per
     store handle, so they sum; ``entries``/``bytes`` describe the one
     shared database every handle points at, so the freshest view wins
-    (max) instead of double-counting.
+    (max) instead of double-counting.  ``extra`` takes additional raw
+    store-stats snapshots (the scheduler's own answer-serving handle)
+    folded with the same rules.
     """
     kinds: dict[str, dict[str, int]] = {}
-    enabled = False
-    path: str | None = None
+    state = {"enabled": False, "path": None}
+
+    def fold(disk: dict) -> None:
+        if not disk:
+            return
+        state["enabled"] = True
+        state["path"] = disk.get("path", state["path"])
+        for kind, counters in (disk.get("kinds") or {}).items():
+            agg = kinds.setdefault(
+                kind,
+                {
+                    "hits": 0,
+                    "misses": 0,
+                    "stores": 0,
+                    "evictions": 0,
+                    "corrupt": 0,
+                    "entries": 0,
+                    "bytes": 0,
+                },
+            )
+            for name in ("hits", "misses", "stores", "evictions", "corrupt"):
+                agg[name] += int(counters.get(name, 0))
+            for name in ("entries", "bytes"):
+                agg[name] = max(agg[name], int(counters.get(name, 0)))
+
     for row in workers:
         for sess in (row.get("sessions") or {}).values():
-            disk = (sess.get("cache") or {}).get("disk")
-            if not disk:
-                continue
-            enabled = True
-            path = disk.get("path", path)
-            for kind, counters in (disk.get("kinds") or {}).items():
-                agg = kinds.setdefault(
-                    kind,
-                    {
-                        "hits": 0,
-                        "misses": 0,
-                        "stores": 0,
-                        "evictions": 0,
-                        "corrupt": 0,
-                        "entries": 0,
-                        "bytes": 0,
-                    },
-                )
-                for name in ("hits", "misses", "stores", "evictions", "corrupt"):
-                    agg[name] += int(counters.get(name, 0))
-                for name in ("entries", "bytes"):
-                    agg[name] = max(agg[name], int(counters.get(name, 0)))
-    return {"enabled": enabled, "path": path, "kinds": kinds}
+            fold((sess.get("cache") or {}).get("disk"))
+    for disk in extra:
+        fold(disk)
+    return {"enabled": state["enabled"], "path": state["path"], "kinds": kinds}
 
 
 class EnumerationScheduler:
@@ -767,7 +878,16 @@ class EnumerationScheduler:
         self._admitted = 0
         self._admitted_by_op: dict[str, int] = {}
         self._completed = 0
+        #: Jobs satisfied entirely from the answer-prefix disk cache —
+        #: no executor slot consumed, no backend runner created.
+        self._answers_served = 0
         self._slice_hist = _SliceHistogram()
+        # The scheduler's own store handle for probing answer prefixes
+        # before a job ever reaches the backend (lazy: opening sqlite on
+        # the event-loop thread at construction would be rude).
+        self._store_lock = threading.Lock()
+        self._store_obj = None
+        self._store_init = False
         self._closed = False
 
     def _make_backend(
@@ -827,15 +947,136 @@ class EnumerationScheduler:
         job._task = asyncio.create_task(self._run(job))
         return job
 
+    def _store(self):
+        """The scheduler's lazily opened artifact store (or ``None``)."""
+        if self._store_init:
+            return self._store_obj
+        with self._store_lock:
+            if not self._store_init:
+                from ..cache.store import open_store
+
+                try:
+                    self._store_obj = open_store(self._cache_dir)
+                except Exception:
+                    self._store_obj = None
+                self._store_init = True
+        return self._store_obj
+
+    def _serve_from_answers(self, request: ServiceRequest) -> "list[dict] | None":
+        """All frames of a prefix-covered job, straight from disk.
+
+        Returns ``None`` whenever the job cannot be fully satisfied from
+        the cached answer prefix — for any reason at all, including
+        errors: the live path re-raises token/validation failures with
+        their proper error frames, so this probe never converts one into
+        a silent miss of a different shape.  Runs on an executor thread.
+        """
+        try:
+            store = self._store()
+            if store is None or not isinstance(request.cost, str):
+                return None
+            from ..cache.answers import (
+                candidate_keys,
+                load_prefix,
+                preprocess_applies_for,
+                result_from_cached,
+            )
+
+            started = time.monotonic()
+            if request.token is not None:
+                payload = verify_token(self._token_key, request.token)
+                checkpoint = load_checkpoint(payload)
+                if checkpoint.cost_spec is None or checkpoint.exhausted:
+                    return None
+                from ..preprocess.recompose import ComposedCheckpoint
+
+                probes = candidate_keys(
+                    fingerprint=checkpoint.fingerprint,
+                    cost_spec=checkpoint.cost_spec,
+                    width_bound=checkpoint.width_bound,
+                    kernel=request.kernel,
+                    applies=None,
+                    composed=isinstance(checkpoint, ComposedCheckpoint),
+                )
+                start = checkpoint.next_rank
+                graph = checkpoint.restore_graph()
+            elif request.graph is not None:
+                from ..api.fingerprint import graph_fingerprint
+
+                graph = request.graph
+                probes = candidate_keys(
+                    fingerprint=graph_fingerprint(graph),
+                    cost_spec=request.cost,
+                    width_bound=request.width_bound,
+                    kernel=request.kernel,
+                    applies=preprocess_applies_for(
+                        request.cost, request.preprocess
+                    ),
+                )
+                start = 0
+            else:
+                return None
+            _key, record = load_prefix(store, probes)
+            limit = request.result_limit
+            if record is None or not record.covers(start, limit):
+                return None
+            served, end, ckpt_bytes, exhausted_here = record.page(start, limit)
+            frames = [
+                answer_frame(result_from_cached(answer, graph, start + index))
+                for index, answer in enumerate(served)
+            ]
+            if exhausted_here or ckpt_bytes is None:
+                token_fields = {"next_rank": end, "checkpoint": None}
+            else:
+                token_fields = {
+                    "next_rank": end,
+                    "checkpoint": encode_token(
+                        sign_token(self._token_key, ckpt_bytes)
+                    ),
+                }
+            frames.append(
+                {
+                    "type": "stats",
+                    "emitted": len(served),
+                    "expansions": 0,
+                    "exhausted": exhausted_here,
+                    "elapsed_seconds": round(time.monotonic() - started, 6),
+                    "engine": "cache",
+                    "preprocessed": record.preprocessed,
+                    **token_fields,
+                }
+            )
+            return frames
+        except Exception:
+            return None
+
     async def _run(self, job: ScheduledJob) -> None:
         job.status = "running"
         loop = asyncio.get_running_loop()
         if job.request.op == "stats":
             await self._run_stats(job, loop)
             return
-        runner = self._backend.create_runner(job)
+        runner = None
         terminal = "error"
         try:
+            if job.request.op in ("enumerate", "top"):
+                # Prefix-covered jobs are answered from disk without
+                # consuming a slice slot or touching the backend — no
+                # worker seat, no executor-slot wait.  (The probe itself
+                # runs on the executor's spare thread, like stats.)
+                frames = await loop.run_in_executor(
+                    self._executor, self._serve_from_answers, job.request
+                )
+                if frames:
+                    self._answers_served += 1
+                    for frame in frames:
+                        if frame["type"] == "answer":
+                            job.emitted += 1
+                        else:
+                            terminal = frame["type"]
+                        await job.frames.put(frame)
+                    return
+            runner = self._backend.create_runner(job)
             while True:
                 async with self._slot():
                     started = time.perf_counter()
@@ -876,7 +1117,8 @@ class EnumerationScheduler:
                 {"type": "error", "code": "internal", "message": str(exc)}
             )
         finally:
-            runner.close()
+            if runner is not None:
+                runner.close()
             job.status = terminal
             self._completed += 1
             self._jobs.pop(job.id, None)
@@ -944,6 +1186,7 @@ class EnumerationScheduler:
             "admitted": self._admitted,
             "completed": self._completed,
             "active": self.active_jobs,
+            "answers_served": self._answers_served,
         }
 
     def metrics_snapshot(self) -> dict:
@@ -961,6 +1204,7 @@ class EnumerationScheduler:
             "admitted": self._admitted,
             "completed": self._completed,
             "active": self.active_jobs,
+            "answers_served": self._answers_served,
             "jobs_by_op": dict(self._admitted_by_op),
             "slots_total": self._slots_total,
             "slots_free": slots_free,
@@ -983,11 +1227,17 @@ class EnumerationScheduler:
         thread, never the event loop (``_run_stats`` does).
         """
         workers = self._backend.worker_stats()
+        extra = []
+        if self._store_init and self._store_obj is not None:
+            try:
+                extra.append(self._store_obj.stats())
+            except Exception:
+                pass
         return {
             "scheduler": self.stats(),
             "backend": self._backend.name,
             "workers": workers,
-            "cache": aggregate_disk_cache(workers),
+            "cache": aggregate_disk_cache(workers, extra=extra),
         }
 
     async def close(self) -> None:
@@ -1016,3 +1266,7 @@ class EnumerationScheduler:
                     pass
         self._executor.shutdown(wait=True)
         self._backend.close()
+        with self._store_lock:
+            if self._store_obj is not None:
+                self._store_obj.close()
+                self._store_obj = None

@@ -335,8 +335,13 @@ class WorkerHandle:
     def round_trip(self, kind: str, *rest):
         """Send one request and block for its (sequence-matched) reply.
 
-        Raises the pipe's ``EOFError``/``OSError`` when the worker died
-        — the caller's crash-detection signal.
+        Deliberately unbounded: a slice dispatch legitimately blocks for
+        as long as the enumeration runs (the job's *deadline* is
+        enforced inside the worker, on ``time.monotonic()``, never by a
+        pipe timeout here).  Timed waits belong to
+        :meth:`try_round_trip`, whose reply deadline is likewise
+        monotonic.  Raises the pipe's ``EOFError``/``OSError`` when the
+        worker died — the caller's crash-detection signal.
         """
         with self.dispatch_lock:
             seq = next(self._seq)
@@ -581,8 +586,12 @@ class _RemoteRunner:
         self._crashes = 0
         self._fingerprint: str | None = None
         deadline = job.request.deadline
+        # time.monotonic(), matching the runner-side deadline clock and
+        # the probe reply timeouts in try_round_trip: a wall-clock step
+        # (NTP, VM resume) must neither expire a fresh job nor grant a
+        # re-dispatched one extra time.
         self._deadline_at = (
-            time.perf_counter() + deadline if deadline is not None else None
+            time.monotonic() + deadline if deadline is not None else None
         )
         job.add_cancel_callback(self._forward_cancel)
 
@@ -615,7 +624,7 @@ class _RemoteRunner:
         """The dispatch spec: the request plus resume/replay state."""
         remaining = None
         if self._deadline_at is not None:
-            remaining = max(self._deadline_at - time.perf_counter(), 1e-6)
+            remaining = max(self._deadline_at - time.monotonic(), 1e-6)
         if self._checkpoint is not None:
             # Pausable stream: resume the serialized frontier, counters
             # continuing at the answers already delivered.

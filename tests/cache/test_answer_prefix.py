@@ -1,0 +1,117 @@
+"""The ``answers`` artifact kind end-to-end at the session layer.
+
+A cold session publishes the ranked answer prefix it enumerates; warm
+sessions replay it (``stats.engine == "cache"``) with results identical
+to live enumeration, extend it from the stored frontier when asked for
+a longer prefix, and learn interior checkpoints so previously-live page
+sizes become servable from disk.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Session
+from repro.graphs.generators import connected_erdos_renyi
+
+
+@pytest.fixture
+def graph():
+    return connected_erdos_renyi(10, 0.35, seed=0)
+
+
+def _serialize(results):
+    """Timing-free canonical form of a ranked result sequence."""
+    return [
+        [r.cost, sorted(sorted(bag) for bag in r.triangulation.bags)]
+        for r in results
+    ]
+
+
+def test_warm_replay_is_identical_to_live(tmp_path, graph):
+    path = tmp_path / "c"
+    with Session(cache_dir=path) as cold:
+        live = cold.top(graph, "fill", k=8)
+    assert live.stats.engine != "cache"
+    with Session(cache_dir=path) as warm:
+        replay = warm.top(graph, "fill", k=8)
+    assert replay.stats.engine == "cache"
+    assert replay.stats.emitted == live.stats.emitted
+    assert replay.stats.exhausted == live.stats.exhausted
+    assert _serialize(replay.results) == _serialize(live.results)
+    # The replayed checkpoint is the stored frontier: both resume points
+    # must designate the same next rank.
+    if live.checkpoint is not None:
+        assert replay.checkpoint is not None
+        assert replay.checkpoint.next_rank == live.checkpoint.next_rank
+
+
+def test_extension_resumes_from_stored_frontier(tmp_path, graph):
+    with Session() as plain:
+        reference = plain.top(graph, "fill", k=20)
+    path = tmp_path / "c"
+    with Session(cache_dir=path) as first:
+        first.top(graph, "fill", k=5)
+    with Session(cache_dir=path) as second:
+        extended = second.top(graph, "fill", k=20)
+        kinds = second.cache_info()["disk"]["kinds"]
+        # The head replayed from disk, the tail ran live from the stored
+        # checkpoint at 5 — and the longer prefix was written back.
+        assert kinds["answers"]["hits"] >= 1
+        assert kinds["answers"]["stores"] >= 1
+    assert _serialize(extended.results) == _serialize(reference.results)
+    assert extended.stats.emitted == reference.stats.emitted
+    with Session(cache_dir=path) as third:
+        replay = third.top(graph, "fill", k=20)
+    assert replay.stats.engine == "cache"
+    assert _serialize(replay.results) == _serialize(reference.results)
+
+
+def test_interior_checkpoints_are_learned(tmp_path, graph):
+    with Session() as plain:
+        reference = plain.top(graph, "fill", k=6)
+    path = tmp_path / "c"
+    with Session(cache_dir=path) as warm:
+        warm.top(graph, "fill", k=20)
+    with Session(cache_dir=path) as session:
+        # First k=3 page: the record covers positions 0..20 but has no
+        # checkpoint at 3 yet, so the page runs live and learns one.
+        first = session.top(graph, "fill", k=3)
+        resumed = session.resume(first.checkpoint, k=3, cost="fill")
+        # Second pass over the same pages: both now replay from disk.
+        page = session.top(graph, "fill", k=3)
+        assert page.stats.engine == "cache"
+        tail = session.resume(page.checkpoint, k=3, cost="fill")
+        assert tail.stats.engine == "cache"
+    combined = _serialize(first.results) + _serialize(resumed.results)
+    assert combined == _serialize(reference.results)
+    assert _serialize(page.results) + _serialize(tail.results) == combined
+
+
+def test_resume_replays_from_bytes_token(tmp_path, graph):
+    path = tmp_path / "c"
+    with Session(cache_dir=path) as warm:
+        head = warm.top(graph, "fill", k=4)
+        warm.resume(head.checkpoint, k=4, cost="fill")
+    token = head.checkpoint.to_bytes()
+    with Session(cache_dir=path) as session:
+        replay = session.resume(token, k=4, cost="fill")
+        assert replay.stats.engine == "cache"
+    with Session() as plain:
+        reference = plain.top(graph, "fill", k=8)
+    assert _serialize(head.results) + _serialize(replay.results) == _serialize(
+        reference.results
+    )
+
+
+def test_prefix_respects_width_bound_keys(tmp_path):
+    graph = connected_erdos_renyi(10, 0.35, seed=3)
+    path = tmp_path / "c"
+    with Session(cache_dir=path) as first:
+        first.top(graph, "width", k=3, preprocess=False)
+    with Session(cache_dir=path) as second:
+        bounded = second.top(
+            graph, "width", k=3, width_bound=4, preprocess=False
+        )
+        # A different width bound is a different key: no replay.
+        assert bounded.stats.engine != "cache"

@@ -42,6 +42,68 @@ def _write_many_keys(path, barrier, label, count, out):
         store.close()
 
 
+def _read_loop(path, barrier, label, rounds, out):
+    """Hammer ``get`` on one hot key; every hit bumps recency (a write)."""
+    store = ArtifactStore(path, schema_tag=TAG)
+    try:
+        barrier.wait(timeout=30)
+        hits = 0
+        for _ in range(rounds):
+            value = store.get("context", "hot-key")
+            if value == {"payload": "hot"}:
+                hits += 1
+        out.put((label, hits))
+    finally:
+        store.close()
+
+
+def _churn_writes(path, barrier, rounds, out):
+    store = ArtifactStore(path, schema_tag=TAG)
+    try:
+        barrier.wait(timeout=30)
+        written = 0
+        for i in range(rounds):
+            if store.put("prepared", f"churn-{i}", {"i": i}):
+                written += 1
+        out.put(("writer", written))
+    finally:
+        store.close()
+
+
+def test_concurrent_readers_survive_recency_contention(tmp_path):
+    """ISSUE 9 satellite: the per-hit recency bump is an UPDATE, so
+    concurrent multi-process readers (plus a churning writer) contend on
+    the sqlite write lock.  A busy/locked error on the bump must never
+    surface — not as a raised ``sqlite3.OperationalError`` and not as a
+    hit silently turned into a miss."""
+    ctx = multiprocessing.get_context("spawn")
+    path = tmp_path / "c"
+    with ArtifactStore(path, schema_tag=TAG) as seed:
+        assert seed.put("context", "hot-key", {"payload": "hot"})
+    readers = 3
+    rounds = 60
+    barrier = ctx.Barrier(readers + 1)
+    out = ctx.Queue()
+    procs = [
+        ctx.Process(
+            target=_read_loop, args=(path, barrier, f"r{i}", rounds, out)
+        )
+        for i in range(readers)
+    ]
+    procs.append(
+        ctx.Process(target=_churn_writes, args=(path, barrier, rounds, out))
+    )
+    for p in procs:
+        p.start()
+    results = dict(out.get(timeout=120) for _ in procs)
+    for p in procs:
+        p.join(timeout=120)
+        assert p.exitcode == 0
+    for i in range(readers):
+        assert results[f"r{i}"] == rounds
+    assert results["writer"] == rounds
+
+
 def test_two_processes_warming_same_key(tmp_path):
     ctx = multiprocessing.get_context("spawn")
     path = tmp_path / "c"

@@ -37,9 +37,50 @@ def test_cold_equals_warm_bytes(tmp_path, name, cost, mode):
     cold, _ = _run(name, cost, mode, cache_dir)
     warm, disk = _run(name, cost, mode, cache_dir)
     assert warm == cold
-    # The warm leg really came from disk, not from a silent rebuild.
+    # The warm leg really came from disk, not from a silent rebuild:
+    # the whole request replayed from the cached answer prefix.
+    assert disk["kinds"]["answers"]["hits"] >= 1
     hits = sum(k["hits"] for k in disk["kinds"].values())
     assert hits >= 1
+
+
+#: The extension gate triples the enumeration work per case, so it runs
+#: on one random and one decomposition-friendly instance.
+EXTENSION_CASES = ("gnp-n10-p0.35-a", "ring-of-c5")
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("cost", COST_SPECS)
+@pytest.mark.parametrize("name", EXTENSION_CASES)
+def test_prefix_extension_equals_straight_run(tmp_path, name, cost, mode):
+    """k=5 then k=20 against one cache dir equals a straight k=20.
+
+    The second leg replays the stored 5-answer head and resumes live
+    from the stored frontier; the spliced sequence must be identical to
+    an uncached run, and the extended prefix must then serve a third
+    request entirely from disk.
+    """
+    factory, _decoder = GRAPHS[name]
+    preprocess = mode == "preprocess"
+    with Session(preprocess=preprocess) as plain:
+        reference = plain.top(factory(), cost, k=20)
+    cache_dir = tmp_path / "cache"
+
+    def run(k):
+        with Session(cache_dir=cache_dir, preprocess=preprocess) as session:
+            response = session.top(factory(), cost, k=k)
+        return response
+
+    run(5)
+    extended = run(20)
+    assert json.dumps(serialize_sequence(extended.results)) == json.dumps(
+        serialize_sequence(reference.results)
+    )
+    replay = run(20)
+    assert replay.stats.engine == "cache"
+    assert json.dumps(serialize_sequence(replay.results)) == json.dumps(
+        serialize_sequence(reference.results)
+    )
 
 
 def test_warm_leg_matches_plain_session(tmp_path):

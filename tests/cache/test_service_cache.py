@@ -48,16 +48,18 @@ def test_cache_survives_server_restart(tmp_path, backend):
     cold_lines, cold_cache = _run_once(cache_dir, backend)
     assert cold_cache.get("enabled") is True
     cold_kinds = cold_cache["kinds"]
-    for kind in ("context", "prepared", "plan"):
+    for kind in ("context", "prepared", "plan", "answers"):
         assert cold_kinds[kind]["stores"] >= 1, kind
 
     # A brand-new server process tree against the same directory: every
-    # artifact comes off disk, and the bytes on the wire are identical.
+    # job is satisfied from the cached answer prefixes, and the bytes on
+    # the wire are identical.  The init kinds are not even consulted —
+    # the scheduler serves covered jobs before a worker seat exists.
     warm_lines, warm_cache = _run_once(cache_dir, backend)
     assert warm_lines == cold_lines
     warm_kinds = warm_cache["kinds"]
-    for kind in ("context", "prepared", "plan"):
-        assert warm_kinds[kind]["hits"] >= 1, kind
+    assert warm_kinds["answers"]["hits"] >= len(WORKLOADS)
+    for kind in ("answers", "context", "prepared", "plan"):
         assert warm_kinds[kind]["stores"] == 0, kind
         assert warm_kinds[kind]["misses"] == 0, kind
 

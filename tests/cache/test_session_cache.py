@@ -40,7 +40,31 @@ def test_warm_session_builds_nothing(tmp_path, graph):
         cold_builds = cold.cache_info()["builds"]
     assert cold_builds >= 1
     with Session(cache_dir=path) as warm:
-        warm.top(graph, "fill", k=5)
+        response = warm.top(graph, "fill", k=5)
+        info = warm.cache_info()
+        assert info["builds"] == 0
+        kinds = info["disk"]["kinds"]
+        # The whole request was replayed from the cached answer prefix —
+        # no init artifact was even consulted, let alone rebuilt.
+        assert response.stats.engine == "cache"
+        assert kinds["answers"]["hits"] >= 1
+        for kind in ("answers", "context", "prepared", "plan"):
+            assert kinds[kind]["misses"] == 0
+            assert kinds[kind]["stores"] == 0
+
+
+def test_warm_session_replays_init_kinds_for_streams(tmp_path, graph):
+    """The init artifacts still serve paths the answer cache cannot:
+    an open-ended ``stream`` (no k) consults context/prepared/plan."""
+    path = tmp_path / "c"
+    with Session(cache_dir=path) as cold:
+        cold.top(graph, "fill", k=5)
+    with Session(cache_dir=path) as warm:
+        stream = warm.stream(graph, "fill")
+        try:
+            next(iter(stream), None)
+        finally:
+            stream.close()
         info = warm.cache_info()
         assert info["builds"] == 0
         kinds = info["disk"]["kinds"]

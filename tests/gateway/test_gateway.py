@@ -90,6 +90,32 @@ class TestObservabilityEndpoints:
         assert "repro_disk_cache_hits_total" in page
         assert "repro_disk_cache_misses_total" in page
 
+    def test_metrics_expose_answers_cache_counters(self, client):
+        """The answers artifact kind reports per-kind disk counters and
+        the scheduler's zero-dispatch serve counter on ``/metrics``."""
+        graph = connected_erdos_renyi(10, 0.35, seed=7)
+        body = {"op": "top", "graph": graph_to_wire(graph), "cost": "fill",
+                "k": 3}
+        first = client.submit(body).collect()
+        second = client.submit(body).collect()
+        # The repeat was served from the stored prefix, byte-identically.
+        assert second.answer_lines == first.answer_lines
+        assert second.terminal["engine"] == "cache"
+        page = client.metrics()
+        assert 'repro_disk_cache_stores_total{kind="answers"}' in page
+        for line in page.splitlines():
+            if line.startswith('repro_disk_cache_hits_total{kind="answers"}'):
+                assert int(float(line.split()[-1])) >= 1
+                break
+        else:
+            raise AssertionError("no answers hit series on /metrics")
+        for line in page.splitlines():
+            if line.startswith("repro_answers_served_total"):
+                assert int(float(line.split()[-1])) >= 1
+                break
+        else:
+            raise AssertionError("no answers_served series on /metrics")
+
     def test_routing_refusals(self, client):
         assert client.request("GET", "/nope").status == 404
         assert client.request("DELETE", "/metrics").status == 405
@@ -284,6 +310,39 @@ class TestJobRegistryAndCancel:
             first.answer_lines + replay.answer_lines
             == serial_lines(graph, "fill", 8)
         )
+
+
+@pytest.mark.skipif(
+    "process" not in os.environ.get(
+        "REPRO_SERVICE_BACKENDS", "inprocess,process"
+    ),
+    reason="process backend excluded by REPRO_SERVICE_BACKENDS",
+)
+class TestAnswersCacheMetricsProcessBackend:
+    def test_answers_counters_over_worker_pool(self, tmp_path):
+        """Worker-side write-back feeds the same per-kind counters the
+        gateway exposes; the repeat serve never reaches a worker."""
+        with GatewayThread(
+            backend="process", worker_processes=2, max_workers=2,
+            cache_dir=str(tmp_path / "cache"),
+        ) as handle:
+            client = GatewayClient(*handle.address, timeout=120.0)
+            graph = connected_erdos_renyi(10, 0.35, seed=7)
+            body = {"op": "top", "graph": graph_to_wire(graph),
+                    "cost": "fill", "k": 3}
+            first = client.submit(body).collect()
+            second = client.submit(body).collect()
+            assert second.answer_lines == first.answer_lines
+            assert second.terminal["engine"] == "cache"
+            page = client.metrics()
+        assert 'repro_disk_cache_stores_total{kind="answers"}' in page
+        assert 'repro_disk_cache_hits_total{kind="answers"}' in page
+        for line in page.splitlines():
+            if line.startswith("repro_answers_served_total"):
+                assert int(float(line.split()[-1])) >= 1
+                break
+        else:
+            raise AssertionError("no answers_served series on /metrics")
 
 
 @pytest.mark.skipif(

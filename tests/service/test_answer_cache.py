@@ -1,0 +1,145 @@
+"""Scheduler-level answer-prefix serving (ISSUE 9 acceptance).
+
+A repeat ``top``/``enumerate`` request against a warmed cache must be
+served from disk without consuming an executor slot or a worker seat —
+on both execution backends — with answer bytes identical to live
+enumeration, and the serve must be observable (``answers_served``
+scheduler counter, ``engine == "cache"`` terminal frame, untouched
+worker sessions).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.generators import connected_erdos_renyi
+from repro.service import ServerThread, ServiceClient
+from repro.service.protocol import StatsFrame
+
+K = 6
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache_env(monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    monkeypatch.delenv("REPRO_CACHE_MAX_BYTES", raising=False)
+    monkeypatch.delenv("REPRO_TOKEN_SECRET", raising=False)
+
+
+def server_kwargs(backend, cache_dir, **extra):
+    kwargs = {
+        "max_workers": 2,
+        "backend": backend,
+        "cache_dir": str(cache_dir),
+        **extra,
+    }
+    if backend == "process":
+        kwargs["worker_processes"] = 2
+    return kwargs
+
+
+@pytest.mark.parametrize("backend", ["inprocess", "process"])
+def test_repeat_top_serves_without_worker_seat(tmp_path, backend):
+    graph = connected_erdos_renyi(10, 0.35, seed=0)
+    cache_dir = tmp_path / "cache"
+    with ServerThread(**server_kwargs(backend, cache_dir)) as handle:
+        client = ServiceClient(*handle.address, timeout=120.0)
+        live = client.top(graph, "fill", k=K)
+    assert isinstance(live.terminal, StatsFrame)
+    assert live.terminal.engine != "cache"
+
+    with ServerThread(**server_kwargs(backend, cache_dir)) as handle:
+        client = ServiceClient(*handle.address, timeout=120.0)
+        warm = client.top(graph, "fill", k=K)
+        stats = ServiceClient(*handle.address, timeout=60.0).service_stats()
+
+    assert warm.answer_lines == live.answer_lines
+    assert isinstance(warm.terminal, StatsFrame)
+    assert warm.terminal.engine == "cache"
+    assert warm.terminal.emitted == K
+    assert stats.scheduler["answers_served"] >= 1
+    # Zero worker dispatch: the job never reached a worker seat, so no
+    # worker session was ever opened for the graph's kernel.
+    for row in stats.workers:
+        assert not row.get("sessions"), row
+
+
+@pytest.mark.parametrize("backend", ["inprocess", "process"])
+def test_extension_write_back_then_pure_hit(tmp_path, backend):
+    """k'=2K after a warmed k=K: live bytes match a cache-less server,
+    and the extended prefix then serves the repeat entirely from disk."""
+    graph = connected_erdos_renyi(10, 0.35, seed=0)
+    with ServerThread(max_workers=2, backend=backend) as handle:
+        client = ServiceClient(*handle.address, timeout=120.0)
+        reference = client.top(graph, "fill", k=2 * K)
+
+    cache_dir = tmp_path / "cache"
+    with ServerThread(**server_kwargs(backend, cache_dir)) as handle:
+        client = ServiceClient(*handle.address, timeout=120.0)
+        client.top(graph, "fill", k=K)
+    with ServerThread(**server_kwargs(backend, cache_dir)) as handle:
+        client = ServiceClient(*handle.address, timeout=120.0)
+        extended = client.top(graph, "fill", k=2 * K)
+        repeat = client.top(graph, "fill", k=2 * K)
+        stats = ServiceClient(*handle.address, timeout=60.0).service_stats()
+
+    assert extended.answer_lines == reference.answer_lines
+    assert repeat.answer_lines == reference.answer_lines
+    assert isinstance(repeat.terminal, StatsFrame)
+    assert repeat.terminal.engine == "cache"
+    assert stats.scheduler["answers_served"] >= 1
+
+
+@pytest.mark.parametrize("backend", ["inprocess", "process"])
+def test_token_resume_serves_from_disk(tmp_path, backend):
+    """A resume token whose page is covered by the cached prefix replays
+    from disk on a fresh server sharing the signing key."""
+    graph = connected_erdos_renyi(10, 0.35, seed=2)
+    key = b"answer-cache-suite"
+    cache_dir = tmp_path / "cache"
+    with ServerThread(
+        token_key=key, **server_kwargs(backend, cache_dir)
+    ) as handle:
+        client = ServiceClient(*handle.address, timeout=120.0)
+        page = client.top(graph, "fill", k=4)
+        token = page.checkpoint
+        first_rest = client.resume(token, k=4)
+    assert token is not None
+
+    with ServerThread(
+        token_key=key, **server_kwargs(backend, cache_dir)
+    ) as handle:
+        client = ServiceClient(*handle.address, timeout=120.0)
+        rest = client.resume(token, k=4)
+        stats = ServiceClient(*handle.address, timeout=60.0).service_stats()
+
+    assert rest.answer_lines == first_rest.answer_lines
+    assert isinstance(rest.terminal, StatsFrame)
+    assert rest.terminal.engine == "cache"
+    assert [a.rank for a in rest.answers] == [4, 5, 6, 7]
+    assert stats.scheduler["answers_served"] >= 1
+    for row in stats.workers:
+        assert not row.get("sessions"), row
+
+
+@pytest.mark.parametrize("backend", ["inprocess", "process"])
+def test_cached_serve_returns_resumable_token(tmp_path, backend):
+    """The checkpoint on a cache-served terminal frame is a live token:
+    resuming it continues the exact sequence."""
+    graph = connected_erdos_renyi(10, 0.35, seed=0)
+    cache_dir = tmp_path / "cache"
+    with ServerThread(**server_kwargs(backend, cache_dir)) as handle:
+        client = ServiceClient(*handle.address, timeout=120.0)
+        # k=K first so the record keeps an interior checkpoint at K,
+        # making the later k=K page servable from disk.
+        client.top(graph, "fill", k=K)
+        live = client.top(graph, "fill", k=2 * K)
+    with ServerThread(**server_kwargs(backend, cache_dir)) as handle:
+        client = ServiceClient(*handle.address, timeout=120.0)
+        warm = client.top(graph, "fill", k=K)
+        assert warm.terminal.engine == "cache"
+        token = warm.checkpoint
+        assert token is not None
+        rest = client.resume(token, k=K)
+    got = list(warm.answer_lines) + list(rest.answer_lines)
+    assert got == list(live.answer_lines)
