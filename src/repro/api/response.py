@@ -57,6 +57,10 @@ class EnumerationStats:
         stream is equivalent either way; this records which machinery
         produced it (``init_seconds`` then sums over the atom
         initializations).
+    kernel:
+        The resolved graph-kernel name the serving session builds
+        contexts with (never ``"auto"``; empty only for stats objects
+        minted by pre-registry code paths).
     """
 
     fingerprint: str
@@ -71,6 +75,7 @@ class EnumerationStats:
     exhausted: bool
     timed_out: bool = False
     preprocessed: bool = False
+    kernel: str = ""
 
 
 @dataclass(frozen=True)

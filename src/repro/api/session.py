@@ -44,6 +44,7 @@ from ..core.spanning import clique_trees
 from ..costs.registry import resolve_cost
 from ..engine import ExpansionStrategy
 from ..graphs.graph import Graph
+from ..graphs.kernels import KernelSpec
 from ..preprocess.recompose import (
     ComposedCheckpoint,
     ComposedRankedStream,
@@ -137,11 +138,14 @@ class Session:
         count.  Avoid strategy *instances* here — one instance cannot
         serve overlapping streams.
     kernel:
-        Graph kernel used when this session builds a context:
-        ``"bitset"`` (default; dense bitmask hot path) or ``"sets"``
-        (label-level reference path).  Both kernels serve bit-identical
-        enumeration sequences — see the README "Performance" section for
-        when to prefer ``"sets"``.
+        Graph kernel used when this session builds a context: a
+        registered kernel name, a :class:`~repro.graphs.kernels
+        .KernelSpec`, or the default ``"auto"`` policy (highest-priority
+        available kernel — numpy when importable, else bitset).
+        ``"auto"`` is resolved here at construction, so cache keys and
+        reported stats always carry a concrete kernel name.  All kernels
+        serve bit-identical enumeration sequences — see the README
+        "Performance" section for how to choose or register one.
     preprocess:
         Default for requests that do not say: ``True`` (default) routes
         eligible requests through the preprocessing pipeline — safe
@@ -173,18 +177,19 @@ class Session:
         self,
         max_contexts: int = 8,
         engine: "object | None" = None,
-        kernel: str = "bitset",
+        kernel: "str | KernelSpec" = "auto",
         preprocess: bool = True,
         cache_dir: "str | None" = None,
         store: "object | None" = None,
     ) -> None:
-        from ..graphs.bitgraph import validate_kernel
+        from ..graphs.kernels import resolve_kernel
 
         if max_contexts < 1:
             raise ValueError(f"max_contexts must be >= 1, got {max_contexts}")
         self._max_contexts = max_contexts
         self._engine = engine
-        self._kernel = validate_kernel(kernel)
+        self._kernel_spec = resolve_kernel(kernel)
+        self._kernel = self._kernel_spec.name
         self._preprocess = bool(preprocess)
         if store is not None:
             self._store = store
@@ -361,8 +366,15 @@ class Session:
         return pair
 
     @property
-    def kernel(self) -> str:
-        """The graph kernel this session builds contexts with."""
+    def kernel(self) -> "KernelSpec":
+        """The resolved :class:`~repro.graphs.kernels.KernelSpec` this
+        session builds contexts with (``"auto"`` never survives
+        construction, so this is always a concrete registered spec)."""
+        return self._kernel_spec
+
+    @property
+    def kernel_name(self) -> str:
+        """The resolved kernel's registry name (what cache keys carry)."""
         return self._kernel
 
     @property
@@ -703,6 +715,7 @@ class Session:
             engine="none",
             exhausted=False,
             timed_out=False,
+            kernel=self._kernel,
         )
         return EnumerationResponse(results=(), stats=stats, checkpoint=None)
 
@@ -801,6 +814,7 @@ class Session:
             exhausted=exhausted_here,
             timed_out=False,
             preprocessed=record.preprocessed,
+            kernel=self._kernel,
         )
         return EnumerationResponse(
             results=results, stats=stats, checkpoint=checkpoint
@@ -932,6 +946,7 @@ class Session:
                 exhausted=stream.exhausted,
                 timed_out=timed_out,
                 preprocessed=isinstance(stream, ComposedRankedStream),
+                kernel=self._kernel,
             )
         finally:
             stream.close()
@@ -995,6 +1010,7 @@ class Session:
                 exhausted=stream.exhausted,
                 timed_out=timed_out,
                 preprocessed=isinstance(stream, ComposedRankedStream),
+                kernel=self._kernel,
             )
         finally:
             stream.close()
@@ -1050,6 +1066,7 @@ class Session:
                 exhausted=stream.exhausted and not truncated and not timed_out,
                 timed_out=timed_out,
                 preprocessed=isinstance(stream, ComposedRankedStream),
+                kernel=self._kernel,
             )
         finally:
             stream.close()

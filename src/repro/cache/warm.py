@@ -14,6 +14,7 @@ import time
 from dataclasses import dataclass, field
 
 from ..graphs.graph import Graph
+from ..graphs.kernels import KernelSpec
 from ..preprocess.recompose import ComposedRankedStream
 
 __all__ = ["WarmReport", "warm_graphs"]
@@ -52,7 +53,7 @@ def warm_graphs(
     costs=("width", "fill"),
     cache_dir=None,
     store=None,
-    kernel: str = "bitset",
+    kernel: str | KernelSpec = "auto",
     width_bound: int | None = None,
     top: int | None = None,
     announce=None,

@@ -45,14 +45,22 @@ def _positive_int(raw: str) -> int:
 
 
 def _add_kernel_option(parser: argparse.ArgumentParser) -> None:
-    """The shared ``--kernel`` flag of every context-building subcommand."""
+    """The shared ``--kernel`` flag of every context-building subcommand.
+
+    Choices come from the kernel registry, so a kernel registered before
+    argument parsing (e.g. in a sitecustomize or plugin) is immediately
+    selectable.  The default ``auto`` resolves to the fastest available
+    registered kernel; the output is identical under every choice.
+    """
+    from .graphs.kernels import AUTO_KERNEL, available_kernels
+
     parser.add_argument(
         "--kernel",
-        default="bitset",
-        choices=("bitset", "sets"),
-        help="graph kernel for the enumeration hot path: bitset = dense "
-        "bitmask kernel (default), sets = label-level reference; the "
-        "output is identical either way",
+        default=AUTO_KERNEL,
+        choices=(AUTO_KERNEL, *available_kernels()),
+        help="graph kernel for the enumeration hot path (default: auto = "
+        "fastest available registered kernel); the output is identical "
+        "under every kernel",
     )
 
 
@@ -356,6 +364,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print(f"error: {exc}")
         return 2
     stats = ctx.stats()
+    print(f"kernel: {stats['kernel']}")
     print(f"minimal separators: {stats['minimal_separators']:.0f}")
     print(f"potential maximal cliques: {stats['pmcs']:.0f}")
     print(f"full blocks: {stats['full_blocks']:.0f}")
@@ -662,6 +671,12 @@ def _cmd_submit_stats(args: argparse.Namespace) -> int:
         f"backend: {frame.backend}  jobs: {sched['admitted']} admitted, "
         f"{sched['completed']} completed, {sched['active']} active"
     )
+    kernels = getattr(frame, "kernels", None) or {}
+    if kernels:
+        print(
+            f"kernels: {', '.join(kernels.get('available', ()))} "
+            f"(auto -> {kernels.get('auto')})"
+        )
     for row in frame.workers:
         line = (
             f"worker {row['worker']}: pid={row['pid']} "

@@ -21,7 +21,8 @@ import time
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
-from ..graphs.bitgraph import BitGraph, VertexIndexer, validate_kernel
+from ..graphs.bitgraph import BitGraph, VertexIndexer
+from ..graphs.kernels import KernelSpec, resolve_kernel
 from ..graphs.graph import Graph, Vertex
 from ..graphs.ordering import vertex_set_sort_key
 from ..separators.berry import minimal_separator_masks, minimal_separators
@@ -90,9 +91,11 @@ class TriangulationContext:
     family: SeparatorFamily
     width_bound: int | None = None
     init_seconds: float = 0.0
-    #: Which graph kernel built (and serves) this context: ``"bitset"``
-    #: keeps a dense encoding for the component/neighborhood hot paths,
-    #: ``"sets"`` is the pure label-level original.
+    #: Which graph kernel built (and serves) this context — always a
+    #: concrete registered name (``"auto"`` is resolved by :meth:`build`
+    #: before anything is keyed on it).  Mask-level kernels keep a dense
+    #: encoding for the component/neighborhood hot paths; ``"sets"`` is
+    #: the pure label-level original.
     kernel: str = "sets"
     indexer: VertexIndexer | None = field(default=None, repr=False)
     bitgraph: BitGraph | None = field(default=None, repr=False)
@@ -116,7 +119,7 @@ class TriangulationContext:
         width_bound: int | None = None,
         separator_limit: int | None = None,
         pmc_limit: int | None = None,
-        kernel: str = "bitset",
+        kernel: str | KernelSpec = "auto",
     ) -> "TriangulationContext":
         """Run the initialization step for ``graph``.
 
@@ -137,16 +140,22 @@ class TriangulationContext:
             :class:`~repro.separators.berry.SeparatorLimitExceeded`.  This
             is how the experiment harness detects poly-MS violations.
         kernel:
-            ``"bitset"`` (default) runs the enumeration hot path — minimal
-            separators, PMCs, full blocks, component queries — over dense
-            adjacency bitmasks, translating vertex labels to dense ints
-            exactly once here at the context boundary.  ``"sets"`` keeps
-            the pure label-level path (useful for debugging and as the
-            differential-testing reference).  Both kernels produce
-            identical contexts and identical downstream enumeration order.
+            A registered kernel name or :class:`KernelSpec` (see
+            :mod:`repro.graphs.kernels`).  The default ``"auto"`` policy
+            resolves to the highest-priority available kernel (numpy when
+            importable, else bitset) **here**, so the stored
+            :attr:`kernel` — and everything keyed on it, cache keys most
+            of all — is always a concrete name.  Mask-level kernels run
+            the enumeration hot path — minimal separators, PMCs, full
+            blocks, component queries — over dense adjacency bitmasks,
+            translating vertex labels to dense ints exactly once here at
+            the context boundary.  ``"sets"`` keeps the pure label-level
+            path (useful for debugging and as the differential-testing
+            reference).  All kernels produce identical contexts and
+            identical downstream enumeration order.
         """
         started = time.perf_counter()
-        validate_kernel(kernel)
+        spec = resolve_kernel(kernel)
         if graph.num_vertices() and not graph.is_connected():
             raise ValueError(
                 "TriangulationContext requires a connected graph; "
@@ -156,9 +165,9 @@ class TriangulationContext:
         indexer: VertexIndexer | None = None
         bitgraph: BitGraph | None = None
         sep_masks: set[int] | None = None
-        if kernel == "bitset" and graph.num_vertices():
+        if spec.uses_masks and graph.num_vertices():
             indexer = VertexIndexer(graph.vertices)
-            bitgraph = BitGraph.from_graph(graph, indexer)
+            bitgraph = spec.build_graph(graph, indexer)
             if separators is None:
                 sep_masks = minimal_separator_masks(
                     bitgraph, limit=separator_limit
@@ -174,12 +183,12 @@ class TriangulationContext:
         else:
             if separators is None:
                 separators = minimal_separators(
-                    graph, limit=separator_limit, kernel="sets"
+                    graph, limit=separator_limit, kernel=spec
                 )
             if pmcs is None:
                 pmcs = potential_maximal_cliques(
                     graph, separators=separators, budget=pmc_limit,
-                    kernel="sets",
+                    kernel=spec,
                 )
         if width_bound is not None:
             separators = {s for s in separators if len(s) <= width_bound}
@@ -247,7 +256,7 @@ class TriangulationContext:
             family=family,
             width_bound=width_bound,
             init_seconds=time.perf_counter() - started,
-            kernel=kernel,
+            kernel=spec.name,
             indexer=indexer,
             bitgraph=bitgraph,
             _pmc_order=pmc_order,

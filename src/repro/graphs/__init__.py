@@ -1,7 +1,16 @@
 """Graph substrate: the data structure, chordal machinery, generators, IO."""
 
 from .graph import Graph, Vertex, Edge
-from .bitgraph import BitGraph, VertexIndexer, iter_bits, validate_kernel
+from .bitgraph import BitGraph, VertexIndexer, iter_bits
+from .kernels import (
+    KernelSpec,
+    available_kernels,
+    register_kernel,
+    registered_kernels,
+    resolve_kernel,
+    unregister_kernel,
+    validate_kernel,
+)
 from .chordal import (
     maximum_cardinality_search,
     is_perfect_elimination_order,
@@ -29,6 +38,12 @@ __all__ = [
     "BitGraph",
     "VertexIndexer",
     "iter_bits",
+    "KernelSpec",
+    "available_kernels",
+    "register_kernel",
+    "registered_kernels",
+    "resolve_kernel",
+    "unregister_kernel",
     "validate_kernel",
     "maximum_cardinality_search",
     "is_perfect_elimination_order",

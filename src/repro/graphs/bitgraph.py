@@ -36,17 +36,23 @@ from .graph import Graph, Vertex
 
 __all__ = ["VertexIndexer", "BitGraph", "iter_bits", "KERNELS", "validate_kernel"]
 
-#: The recognized graph-kernel names: dense bitset masks vs label sets.
+#: Deprecated alias of the original built-in kernel names.  The source
+#: of truth is now the registry in :mod:`repro.graphs.kernels`
+#: (``available_kernels()``), which third-party kernels extend.
 KERNELS = ("bitset", "sets")
 
 
-def validate_kernel(kernel: str) -> str:
-    """Return ``kernel`` if it names a known kernel, raise otherwise."""
-    if kernel not in KERNELS:
-        raise ValueError(
-            f"unknown graph kernel {kernel!r}; expected one of {KERNELS}"
-        )
-    return kernel
+def validate_kernel(kernel) -> str:
+    """Resolve a kernel name/spec to a concrete kernel name.
+
+    Deprecated shim over :func:`repro.graphs.kernels.validate_kernel`
+    (kept because historical call sites import it from here).  Note the
+    registry semantics: ``"auto"`` resolves to the best available
+    kernel, so the returned name is always concrete.
+    """
+    from .kernels import validate_kernel as _validate
+
+    return _validate(kernel)
 
 
 def iter_bits(mask: int) -> Iterator[int]:
@@ -122,6 +128,11 @@ class BitGraph:
     methods are read-only except :meth:`saturate`, which is only ever
     called on copies (:meth:`copy`) or throwaway instances.
     """
+
+    #: Capability flag: whether this kernel provides the batched
+    #: whole-array operations (see :class:`repro.graphs.npgraph.NumpyBitGraph`).
+    #: The algorithm layers dispatch their batched inner loops on it.
+    BATCHED = False
 
     __slots__ = ("indexer", "adj", "full_mask")
 

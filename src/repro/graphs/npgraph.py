@@ -1,0 +1,675 @@
+"""Numpy uint64-array bitset kernel: batched whole-array hot operations.
+
+:class:`NumpyBitGraph` extends the pure-python :class:`BitGraph` with a
+dense array encoding — vertex sets become rows of ``(n_words,)`` uint64
+arrays — and *batched* variants of the enumeration hot operations.  The
+scalar operations are inherited unchanged (a ``NumpyBitGraph`` is a
+``BitGraph``), so every existing mask-level code path keeps working;
+the algorithm layers (:mod:`repro.separators.berry`,
+:mod:`repro.pmc.enumerate`, :class:`~repro.core.context.TriangulationContext`)
+detect the :attr:`BATCHED` capability and switch their inner loops from
+per-candidate python iteration to whole-array bitwise ops.
+
+Why batching is the design (and per-op numpy is not): the python-int
+kernel is already word-parallel, so replacing one ``mask | mask`` with
+one numpy call only adds call overhead.  The win comes from processing
+*thousands of candidate regions at once*: one propagation reaches the
+fixpoint for every region in the batch simultaneously, and the
+per-candidate predicates (``is_pmc``, minimal-separator filtering, BBC
+candidate generation) read their answers off the converged arrays with
+a handful of vectorized reductions.
+
+The core primitive is :meth:`NumpyBitGraph._closure`: given ``B`` region
+masks, compute for every vertex ``i`` of every region the OR of the
+adjacency rows over ``i``'s connected component within the region.  The
+state is a ``(B, n+1, S)`` uint64 array (row ``n`` is a zero pad) and
+each round is **one** flat ``np.take`` through a per-batch neighbor
+index in which out-of-region *sources* are redirected to the pad row,
+followed by an OR-reduce — no per-neighbor masking passes.  Because
+only sources are redirected (targets are not), a vertex *outside* its
+region accumulates the OR of its in-region neighbors' rows, which is
+exactly the ``is_pmc`` completability cover — so the cover costs no
+extra gather.  When component masks are wanted they are stacked into
+the same state array (columns ``w:2w``) and ride the same gather.
+Everything readable off the converged array:
+
+* ``nbh[b, i] = closure[b, i] & ~region``  is exactly ``N(C_i)``;
+* a component is *full* iff some row has ``nbh == S``;
+* distinct components are counted via their minimum-index member
+  (``comp[b, i] & below[i] == 0``), no label propagation needed;
+* the ``is_pmc`` cover of ``u ∈ Ω`` is row ``u`` itself (see above).
+
+All batched methods take and return python int masks (the common
+currency of the mask-level stack) and chunk internally to bound peak
+memory.  Everything is exact: the differential harness runs this kernel
+against both ``"bitset"`` and the ``"sets"`` oracle.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from .bitgraph import BitGraph, VertexIndexer, iter_bits
+from .graph import Graph
+
+__all__ = ["NumpyBitGraph"]
+
+_U64 = np.uint64
+_ZERO = np.uint64(0)
+_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+#: Target words (uint64) per closure chunk — bounds peak memory at a few
+#: megabytes while keeping each numpy call large enough to amortize
+#: dispatch overhead.
+_CHUNK_WORDS = 1 << 19
+
+#: Below this many items a batched call falls back to the inherited
+#: scalar loop: numpy dispatch overhead beats the vectorization win on
+#: tiny batches (early BBC rounds, short prefixes).
+_SCALAR_CUTOFF = 48
+
+
+class NumpyBitGraph(BitGraph):
+    """A :class:`BitGraph` with a numpy array mirror and batched ops.
+
+    Invariant: the numpy arrays always reflect :attr:`adj` /
+    :attr:`full_mask` (mutators like :meth:`saturate` rebuild them), so
+    scalar and batched results agree at all times.
+    """
+
+    BATCHED = True
+
+    __slots__ = (
+        "n_index",
+        "n_words",
+        "max_deg",
+        "adj_words",
+        "bit_words",
+        "below_words",
+        "notadj_words",
+        "full_words",
+        "in_full",
+        "nbr_idx",
+        "nbr_flat",
+        "adj_pad",
+        "notadj_pad",
+        "nbr_pad",
+    )
+
+    def __init__(
+        self, indexer: VertexIndexer, adj: list[int], full_mask: int
+    ) -> None:
+        super().__init__(indexer, adj, full_mask)
+        self._rebuild_arrays()
+
+    # ------------------------------------------------------------------
+    # Construction / mirroring
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(
+        cls, graph: Graph, indexer: VertexIndexer | None = None
+    ) -> "NumpyBitGraph":
+        base = BitGraph.from_graph(graph, indexer)
+        return cls(base.indexer, base.adj, base.full_mask)
+
+    def copy(self) -> "NumpyBitGraph":
+        return NumpyBitGraph(self.indexer, list(self.adj), self.full_mask)
+
+    def induced(self, mask: int) -> "NumpyBitGraph":
+        return NumpyBitGraph(
+            self.indexer,
+            [a & mask if mask >> i & 1 else 0 for i, a in enumerate(self.adj)],
+            mask & self.full_mask,
+        )
+
+    def saturate(self, mask: int) -> None:
+        super().saturate(mask)
+        self._rebuild_arrays()
+
+    def _rebuild_arrays(self) -> None:
+        n = len(self.indexer)
+        w = max(1, (n + 63) // 64)
+        self.n_index = n
+        self.n_words = w
+        adj = self.adj
+        self.adj_words = self._to_words(adj) if n else np.zeros((0, w), _U64)
+        self.bit_words = (
+            self._pack(1 << i for i in range(n))
+            if n
+            else np.zeros((0, w), _U64)
+        )
+        self.below_words = (
+            self._pack((1 << i) - 1 for i in range(n))
+            if n
+            else np.zeros((0, w), _U64)
+        )
+        self.notadj_words = ~(self.adj_words | self.bit_words)
+        self.full_words = self._pack([self.full_mask])[0]
+        self.in_full = (
+            (self.bit_words & self.full_words[None, :]) != 0
+        ).any(axis=1)
+        degrees = [a.bit_count() for a in adj]
+        self.max_deg = max(degrees, default=0)
+        # Neighbor indices padded with the sentinel row ``n`` (always
+        # zero in the gather source), so every gather column is dense.
+        idx = np.full((n, max(1, self.max_deg)), n, dtype=np.intp)
+        for i, a in enumerate(adj):
+            for k, j in enumerate(iter_bits(a)):
+                idx[i, k] = j
+        self.nbr_idx = idx
+        self.nbr_flat = np.ascontiguousarray(idx.reshape(-1))
+        # Sentinel-padded variants (row ``n`` zero / self-sentinel) for
+        # the compacted gathers of :meth:`is_pmc_restricted_batch`.
+        self.adj_pad = np.zeros((n + 1, w), _U64)
+        self.adj_pad[:n] = self.adj_words
+        self.notadj_pad = np.zeros((n + 1, w), _U64)
+        self.notadj_pad[:n] = self.notadj_words
+        self.nbr_pad = np.full((n + 1, max(1, self.max_deg)), n, dtype=np.intp)
+        self.nbr_pad[:n] = idx
+
+    # ------------------------------------------------------------------
+    # Mask <-> word-array conversion
+    # ------------------------------------------------------------------
+    def _pack(self, masks: Iterable[int]) -> np.ndarray:
+        """Python int masks -> ``(B, n_words)`` uint64 rows."""
+        w = self.n_words
+        if w == 1:
+            return np.fromiter(masks, dtype=_U64).reshape(-1, 1)
+        nbytes = w * 8
+        buf = b"".join(m.to_bytes(nbytes, "little") for m in masks)
+        out = np.frombuffer(buf, dtype="<u8").reshape(-1, w)
+        return out.astype(_U64, copy=False)
+
+    def _to_words(self, masks: Sequence[int]) -> np.ndarray:
+        if not len(masks):
+            return np.zeros((0, self.n_words), _U64)
+        return self._pack(masks)
+
+    def _to_ints(self, rows: np.ndarray) -> list[int]:
+        """``(K, n_words)`` uint64 rows -> python int masks."""
+        if rows.size == 0:
+            return []
+        if self.n_words == 1:
+            return rows[:, 0].tolist()
+        nbytes = self.n_words * 8
+        buf = np.ascontiguousarray(rows.astype("<u8", copy=False)).tobytes()
+        return [
+            int.from_bytes(buf[k : k + nbytes], "little")
+            for k in range(0, len(buf), nbytes)
+        ]
+
+    def _chunk_size(self) -> int:
+        # Dominant per-region footprint: the gather index plus the
+        # gathered matrix, both ``n * max_deg`` wide.
+        deg = max(1, self.max_deg)
+        per_row = max(1, self.n_index * (2 * self.n_words + deg * (2 * self.n_words + 1)))
+        return max(16, min(1 << 14, _CHUNK_WORDS // per_row))
+
+    # ------------------------------------------------------------------
+    # The core batched primitive
+    # ------------------------------------------------------------------
+    def _closure(
+        self,
+        regions: np.ndarray,
+        want_comp: bool,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+        """Component closure of ``B`` region masks at once.
+
+        Returns ``(in_region, nbh, comp)`` where ``in_region`` is a
+        ``(B, n)`` bool matrix, ``nbh[b, i]`` is ``N(C)`` of the
+        component ``C`` of vertex ``i`` inside region ``b`` (zero rows
+        for vertices outside the region), and ``comp[b, i]`` is the
+        component mask itself (``None`` unless ``want_comp``).  The
+        returned arrays are ``(B, n+1, n_words)`` views' bodies with a
+        zero pad row retained at index ``n`` so callers can gather
+        through :attr:`nbr_idx` without re-padding.
+        """
+        b = regions.shape[0]
+        n, w = self.n_index, self.n_words
+        bits = self.bit_words
+        deg = max(1, self.max_deg)
+        if w == 1:
+            in_r = (regions[:, 0, None] & bits[:, 0][None, :]) != 0
+        else:
+            in_r = (regions[:, None, :] & bits[None, :, :]).any(axis=2)
+        # Gather index: neighbor ``j`` of target ``i``, redirected to the
+        # zero pad row ``n`` when ``j`` is outside the region.  Targets
+        # are *not* redirected: an out-of-region target therefore
+        # accumulates the OR of its in-region neighbors' rows — the
+        # is_pmc cover — which nothing ever reads back (sources must be
+        # in-region), so it cannot pollute the closure.  The index is
+        # laid out ``(deg, B, n)`` so each per-neighbor fold below is a
+        # contiguous full-array OR instead of a strided reduce.
+        in_rp = np.zeros((b, n + 1), dtype=bool)
+        in_rp[:, :n] = in_r
+        nbr_t = self.nbr_idx.T  # (deg, n)
+        s = 2 * w if want_comp else w
+        state = np.zeros((b, n + 1, s), _U64)
+        state[:, :n, :w] = self.adj_words
+        if want_comp:
+            state[:, :n, w:] = bits
+        # Iterate on a shrinking working set: once no row of a region
+        # changes in a round that region is at its fixpoint (the update
+        # is monotone and row-local), so it is scattered back into
+        # ``state`` and dropped from subsequent rounds.  Batches mix
+        # shallow and deep regions; without this every region pays for
+        # the deepest one's diameter.
+        idx_cur = np.arange(b, dtype=np.intp)
+        cur = state
+        done = False
+        while not done:
+            bc = idx_cur.size
+            # Per-neighbor gather index for the current working set,
+            # transposed so ``gview[k]`` is contiguous.
+            src_ok = (in_rp[idx_cur] if cur is not state else in_rp)[:, nbr_t]
+            gidx = np.where(src_ok, nbr_t[None, :, :], n)
+            gidx += (np.arange(bc, dtype=np.intp) * (n + 1))[:, None, None]
+            gflat = np.ascontiguousarray(gidx.transpose(1, 0, 2)).reshape(-1)
+            if s == 1:
+                # 1-D scalar gather — markedly faster than row gather.
+                flat = cur.reshape(-1)
+                gathered = np.empty(deg * bc * n, _U64)
+                gview = gathered.reshape(deg, bc, n, 1)
+                take_out = gathered
+            else:
+                flat = cur.reshape(bc * (n + 1), s)
+                gathered = np.empty((deg * bc * n, s), _U64)
+                gview = gathered.reshape(deg, bc, n, s)
+                take_out = gathered
+            body = cur[:, :n]
+            contrib = np.empty((bc, n, s), _U64)
+            done = True
+            for _ in range(n + 2):
+                np.take(flat, gflat, axis=0, out=take_out)
+                np.copyto(contrib, body)
+                for k in range(deg):
+                    np.bitwise_or(contrib, gview[k], out=contrib)
+                changed = (contrib != body).any(axis=(1, 2))
+                live = int(changed.sum())
+                if live == 0:
+                    break
+                body[...] = contrib
+                if live * 2 <= bc and bc > 64:
+                    # Half the working set is at its fixpoint: scatter
+                    # back and keep iterating only the live regions.
+                    if cur is not state:
+                        state[idx_cur] = cur
+                    alive = np.flatnonzero(changed)
+                    idx_cur = idx_cur[alive]
+                    cur = np.ascontiguousarray(cur[alive])
+                    done = False
+                    break
+            if done and cur is not state:
+                state[idx_cur] = cur
+        # The frontier words now hold, per in-region vertex, the OR of
+        # adjacency rows over its whole component; subtracting the
+        # region leaves N(C).  (Out-of-region rows hold their own
+        # adjacency OR the cover — the subtraction is harmless there:
+        # is_pmc ``need`` sets never intersect the region.)
+        f = state[:, :, :w]
+        c = state[:, :, w:] if want_comp else None
+        np.bitwise_and(f[:, :n], ~regions[:, None, :], out=f[:, :n])
+        return in_r, f, c
+
+    # ------------------------------------------------------------------
+    # Batched queries (python-int mask boundary)
+    # ------------------------------------------------------------------
+    def components_with_neighborhoods_batch(
+        self, regions: Sequence[int]
+    ) -> list[list[tuple[int, int]]]:
+        """Batched :meth:`components_with_neighborhoods`.
+
+        One list of ``(component, N(component))`` pairs per input
+        region, each list ascending by lowest member index — identical
+        to the scalar method's output order.
+        """
+        if len(regions) < _SCALAR_CUTOFF:
+            return [
+                self.components_with_neighborhoods(r) for r in regions
+            ]
+        out: list[list[tuple[int, int]]] = [[] for _ in regions]
+        chunk = self._chunk_size()
+        below = self.below_words
+        for start in range(0, len(regions), chunk):
+            part = list(regions[start : start + chunk])
+            words = self._to_words(part)
+            in_r, f, c = self._closure(words, want_comp=True)
+            comp = c[:, : self.n_index]
+            nbh = f[:, : self.n_index]
+            # A component is reported once, at its minimum-index member.
+            is_root = ((comp & below[None, :, :]) == 0).all(axis=2) & in_r
+            rows = np.argwhere(is_root)  # sorted by (b, i): ascending roots
+            comp_ints = self._to_ints(comp[rows[:, 0], rows[:, 1]])
+            nbh_ints = self._to_ints(nbh[rows[:, 0], rows[:, 1]])
+            for (bi, _i), cm, nm in zip(rows, comp_ints, nbh_ints):
+                out[start + int(bi)].append((cm, nm))
+        return out
+
+    def separator_candidates_batch(self, regions: Sequence[int]) -> list[int]:
+        """Distinct component neighborhoods over a batch of regions.
+
+        The BBC generation step: every ``N(C)`` for ``C`` a component of
+        some region.  Returned sorted ascending, deduplicated across the
+        whole batch, zero excluded.
+        """
+        if len(regions) < _SCALAR_CUTOFF:
+            seen: set[int] = set()
+            for r in regions:
+                for _comp, nbh in self.components_with_neighborhoods(r):
+                    seen.add(nbh)
+            seen.discard(0)
+            return sorted(seen)
+        found: set[int] = set()
+        chunk = self._chunk_size()
+        for start in range(0, len(regions), chunk):
+            part = list(regions[start : start + chunk])
+            words = self._to_words(part)
+            in_r, f, _ = self._closure(words, want_comp=False)
+            rows = f[:, : self.n_index][in_r]
+            if rows.size == 0:
+                continue
+            if self.n_words == 1:
+                uniq = np.unique(rows[:, 0])[:, None]
+            else:
+                uniq = np.unique(rows, axis=0)
+            found.update(self._to_ints(uniq))
+        found.discard(0)
+        return sorted(found)
+
+    def _is_minimal_separator_scalar(self, cand: int) -> bool:
+        if not cand:
+            return False
+        count = 0
+        for _comp, nbh in self.components_with_neighborhoods(
+            self.full_mask & ~cand
+        ):
+            if nbh == cand:
+                count += 1
+                if count >= 2:
+                    return True
+        return False
+
+    def is_minimal_separator_batch(self, cands: Sequence[int]) -> list[bool]:
+        """Batched full-component minimality test (≥ 2 full components)."""
+        if len(cands) < _SCALAR_CUTOFF:
+            return [self._is_minimal_separator_scalar(c) for c in cands]
+        out: list[bool] = []
+        chunk = self._chunk_size()
+        below = self.below_words
+        for start in range(0, len(cands), chunk):
+            part = list(cands[start : start + chunk])
+            words = self._to_words(part)
+            regions = self.full_words[None, :] & ~words
+            in_r, f, c = self._closure(regions, want_comp=True)
+            nbh = f[:, : self.n_index]
+            comp = c[:, : self.n_index]
+            full_here = (nbh == words[:, None, :]).all(axis=2) & in_r
+            is_root = ((comp & below[None, :, :]) == 0).all(axis=2)
+            count = (full_here & is_root).sum(axis=1)
+            nonzero = (words != 0).any(axis=1)
+            out.extend((nonzero & (count >= 2)).tolist())
+        return out
+
+    def is_pmc_batch(self, omegas: Sequence[int]) -> list[bool]:
+        """Batched :func:`repro.pmc.predicate.is_pmc_mask`.
+
+        Condition 1 (no full component) reads the converged ``nbh``
+        rows.  Condition 2 (completability) is free: for ``u ∈ Ω`` the
+        closure row of ``u`` itself already holds ``adj[u] | cover[u]``
+        (out-of-region targets gather their in-region neighbors' rows —
+        see :meth:`_closure`), and ``need[u]`` is disjoint from
+        ``adj[u]``, so the candidate fails iff ``need & ~row != 0``.
+        """
+        if len(omegas) < _SCALAR_CUTOFF:
+            from ..pmc.predicate import is_pmc_mask
+
+            return [is_pmc_mask(self, om) for om in omegas]
+        out: list[bool] = []
+        chunk = self._chunk_size()
+        n = self.n_index
+        for start in range(0, len(omegas), chunk):
+            part = list(omegas[start : start + chunk])
+            words = self._to_words(part)
+            regions = self.full_words[None, :] & ~words
+            in_r, f, _ = self._closure(regions, want_comp=False)
+            nbh = f[:, :n]
+            if self.n_words == 1:
+                eq_s = nbh[:, :, 0] == words[:, 0, None]
+            else:
+                eq_s = (nbh == words[:, None, :]).all(axis=2)
+            fail1 = (eq_s & in_r).any(axis=1)
+            in_om = ~in_r & self.in_full[None, :]
+            ommask = np.where(in_om[:, :, None], _ONES, _ZERO)
+            need = words[:, None, :] & self.notadj_words[None, :, :] & ommask
+            fail2 = ((need & ~nbh) != 0).any(axis=(1, 2))
+            nonzero = (words != 0).any(axis=1)
+            out.extend((nonzero & ~fail1 & ~fail2).tolist())
+        return out
+
+    def is_pmc_restricted_batch(
+        self,
+        omegas: Sequence[int],
+        regions: Sequence[int],
+        static: np.ndarray,
+    ) -> list[bool]:
+        """:meth:`is_pmc_batch` with a known separator decomposition.
+
+        For ``Ω = S ∪ X`` with ``S`` a minimal separator, ``C`` the
+        component of ``G \\ S`` containing ``X`` and ``X ≠ ∅``, the
+        components of ``G \\ Ω`` are the components of ``C \\ X`` plus
+        the *other* components of ``G \\ S`` — and the latter are never
+        full (their neighborhoods sit inside ``S ⊊ Ω``).  So condition 1
+        only needs a closure over the region ``C \\ X`` (passed as
+        ``regions``), and the other components' contribution to the
+        condition-2 cover is the precomputed per-pair ``static`` rows
+        (``(B, n, n_words)``; non-zero only on rows of ``S``).
+
+        Unlike the full-graph closure this one is *compacted*: the state
+        only carries one row per **region** vertex (slot-mapped), so a
+        round costs ``O(B · |C \\ X| · deg)`` instead of
+        ``O(B · n · deg)``, and the condition-2 covers are read with a
+        single post-convergence gather over the Ω rows instead of riding
+        every round.  Candidates are processed in ascending region-size
+        order so each chunk is homogeneous (the slot count is a chunk
+        maximum); results are scattered back to input order.
+        """
+        if len(omegas) < _SCALAR_CUTOFF:
+            from ..pmc.predicate import is_pmc_mask
+
+            return [is_pmc_mask(self, om) for om in omegas]
+        n, w = self.n_index, self.n_words
+        deg = max(1, self.max_deg)
+        words_all = self._to_words(list(omegas))
+        regw_all = self._to_words(list(regions))
+        counts = np.bitwise_count(regw_all).sum(axis=1, dtype=np.int64)
+        order = np.argsort(counts, kind="stable")
+        csort = counts[order]
+        result = np.zeros(len(omegas), dtype=bool)
+        # Greedy homogeneous chunking: because candidates are sorted by
+        # region size, a chunk's slot count is its *last* member's, so
+        # the largest admissible chunk end is a binary search over the
+        # monotone product size × max-region.
+        limit = max(1, _CHUNK_WORDS // (deg * 3 * w))
+        total = len(order)
+        start = 0
+        while start < total:
+            lo, hi = start + 1, min(total, start + (1 << 14))
+            while lo < hi:
+                mid = (lo + hi + 1) // 2
+                if (mid - start) * max(1, int(csort[mid - 1])) <= limit:
+                    lo = mid
+                else:
+                    hi = mid - 1
+            stop = lo
+            idx = order[start:stop]
+            result[idx] = self._is_pmc_restricted_chunk(
+                words_all[idx],
+                regw_all[idx],
+                static[idx],
+                int(csort[stop - 1]),
+            )
+            start = stop
+        return result.tolist()
+
+    def _is_pmc_restricted_chunk(
+        self,
+        words: np.ndarray,
+        regw: np.ndarray,
+        stat: np.ndarray,
+        m: int,
+    ) -> np.ndarray:
+        """One homogeneous chunk of :meth:`is_pmc_restricted_batch`.
+
+        ``words``/``regw`` are the Ω / region rows, ``stat`` the static
+        cover rows, ``m`` the maximum region popcount of the chunk.
+        Returns a ``(B,)`` bool array.
+        """
+        bc = words.shape[0]
+        n, w = self.n_index, self.n_words
+        bits = self.bit_words
+        deg = max(1, self.max_deg)
+        if w == 1:
+            in_r = (regw[:, 0, None] & bits[:, 0][None, :]) != 0
+            in_om = (words[:, 0, None] & bits[:, 0][None, :]) != 0
+        else:
+            in_r = (regw[:, None, :] & bits[None, :, :]).any(axis=2)
+            in_om = (words[:, None, :] & bits[None, :, :]).any(axis=2)
+        # Slot maps: region vertices to compacted slots [0, m), all
+        # other vertices (and the vertex sentinel ``n``) to pad slot m.
+        slot = np.cumsum(in_r, axis=1, dtype=np.intp)
+        slot -= in_r
+        bidx, iidx = np.nonzero(in_r)
+        vslot = slot[bidx, iidx]
+        vert = np.full((bc, max(m, 1)), n, dtype=np.intp)
+        vert[bidx, vslot] = iidx
+        slot_pad = np.full((bc, n + 1), m, dtype=np.intp)
+        slot_pad[bidx, iidx] = vslot
+        slot_flat = slot_pad.reshape(-1)
+        off_n1 = (np.arange(bc, dtype=np.intp) * (n + 1))[:, None, None]
+        state = np.zeros((bc, m + 1, w), _U64)
+        if m:
+            state[:, :m] = self.adj_pad.take(vert.reshape(-1), axis=0).reshape(
+                bc, m, w
+            )
+            # Per-slot gather index: neighbor slots, pad for non-region
+            # neighbors and sentinel slots; laid out (deg, bc, m) so each
+            # fold below is contiguous.
+            nbrs = self.nbr_pad.take(vert.reshape(-1), axis=0).reshape(
+                bc, m, deg
+            )
+            gslot = slot_flat.take((nbrs + off_n1).reshape(-1)).reshape(
+                bc, m, deg
+            )
+            gslot = np.ascontiguousarray(gslot.transpose(2, 0, 1))
+            idx_cur = np.arange(bc, dtype=np.intp)
+            cur = state
+            gs = gslot
+            done = False
+            while not done:
+                bcc = idx_cur.size
+                gflat = gs + (np.arange(bcc, dtype=np.intp) * (m + 1))[None, :, None]
+                gflat = np.ascontiguousarray(gflat).reshape(-1)
+                if w == 1:
+                    flat = cur.reshape(-1)
+                    gathered = np.empty(deg * bcc * m, _U64)
+                    gview = gathered.reshape(deg, bcc, m, 1)
+                    take_out = gathered
+                else:
+                    flat = cur.reshape(bcc * (m + 1), w)
+                    gathered = np.empty((deg * bcc * m, w), _U64)
+                    gview = gathered.reshape(deg, bcc, m, w)
+                    take_out = gathered
+                body = cur[:, :m]
+                contrib = np.empty((bcc, m, w), _U64)
+                done = True
+                for _ in range(m + 2):
+                    np.take(flat, gflat, axis=0, out=take_out)
+                    np.copyto(contrib, body)
+                    for k in range(deg):
+                        np.bitwise_or(contrib, gview[k], out=contrib)
+                    changed = (contrib != body).any(axis=(1, 2))
+                    live = int(changed.sum())
+                    if live == 0:
+                        break
+                    body[...] = contrib
+                    if live * 2 <= bcc and bcc > 64:
+                        if cur is not state:
+                            state[idx_cur] = cur
+                        alive = np.flatnonzero(changed)
+                        idx_cur = idx_cur[alive]
+                        cur = np.ascontiguousarray(cur[alive])
+                        gs = np.ascontiguousarray(gs[:, alive])
+                        done = False
+                        break
+                if done and cur is not state:
+                    state[idx_cur] = cur
+        # Condition 1: some component of the region has N(D) == Ω.
+        # Slot t's converged row ORs the adjacency over its component;
+        # subtracting the region leaves N(D).  Sentinel slots hold zero.
+        notreg = ~regw[:, None, :]
+        if m:
+            nbh_r = state[:, :m] & notreg
+            valid = vert != n
+            if w == 1:
+                eq = (nbh_r[:, :, 0] == words[:, 0, None]) & valid
+            else:
+                eq = (nbh_r == words[:, None, :]).all(axis=2) & valid
+            fail1 = eq.any(axis=1)
+        else:
+            fail1 = np.zeros(bc, dtype=bool)
+        # Condition 2 covers, one gather after convergence: for u ∈ Ω,
+        # the dynamic part is the OR of converged rows over u's
+        # in-region neighbors (hitting exactly the region components
+        # whose neighborhood contains u), the static part is the
+        # caller's per-pair rows, and adj[u] bits are harmless (need
+        # is disjoint from them by construction).
+        cnt2 = in_om.sum(axis=1)
+        m2 = int(cnt2.max()) if bc else 0
+        bidx2, iidx2 = np.nonzero(in_om)
+        slot2 = np.cumsum(in_om, axis=1, dtype=np.intp)
+        slot2 -= in_om
+        vert2 = np.full((bc, max(m2, 1)), n, dtype=np.intp)
+        vert2[bidx2, slot2[bidx2, iidx2]] = iidx2
+        vert2_flat = vert2.reshape(-1)
+        m2c = max(m2, 1)
+        cov = np.zeros((bc, m2c, w), _U64)
+        if m:
+            nbrs2 = self.nbr_pad.take(vert2_flat, axis=0).reshape(
+                bc, m2c, deg
+            )
+            gslot2 = slot_flat.take((nbrs2 + off_n1).reshape(-1)).reshape(
+                bc, m2c, deg
+            )
+            off = (np.arange(bc, dtype=np.intp) * (m + 1))[:, None]
+            flat = state.reshape(bc * (m + 1), w)
+            for k in range(deg):
+                rows = np.take(flat, (gslot2[:, :, k] + off).reshape(-1), axis=0)
+                np.bitwise_or(cov, rows.reshape(bc, m2c, w), out=cov)
+            cov &= notreg
+        # Static rows gathered with the sentinel clipped to a real row:
+        # a sentinel slot's ``need`` is zero (``notadj_pad`` row n is
+        # zero), so whatever cover it reads is irrelevant.
+        vclip = np.minimum(vert2, n - 1) + (np.arange(bc, dtype=np.intp) * n)[:, None]
+        statrows = stat.reshape(bc * n, w).take(vclip.reshape(-1), axis=0)
+        np.bitwise_or(cov, statrows.reshape(bc, m2c, w), out=cov)
+        np.bitwise_or(
+            cov,
+            self.adj_pad.take(vert2_flat, axis=0).reshape(bc, m2c, w),
+            out=cov,
+        )
+        need = (
+            words[:, None, :]
+            & self.notadj_pad.take(vert2_flat, axis=0).reshape(bc, m2c, w)
+        )
+        fail2 = ((need & ~cov) != 0).any(axis=(1, 2))
+        nonzero = (words != 0).any(axis=1)
+        return nonzero & ~fail1 & ~fail2
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        edges = sum(a.bit_count() for a in self.adj) // 2
+        return (
+            f"NumpyBitGraph(|V|={self.num_vertices()}, |E|={edges}, "
+            f"words={self.n_words})"
+        )

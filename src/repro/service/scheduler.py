@@ -58,6 +58,11 @@ from concurrent.futures import ThreadPoolExecutor
 
 from ..api import Session, load_checkpoint
 from ..api.session import _diverse_selection, _expand_decompositions
+from ..graphs.kernels import (
+    available_kernels,
+    registered_kernels,
+    resolve_kernel,
+)
 from .protocol import (
     ProtocolError,
     ServiceRequest,
@@ -685,13 +690,18 @@ class InProcessBackend(ExecutionBackend):
         self._sessions: dict[str, Session] = {}
         self._lock = threading.Lock()
 
-    def session(self, kernel: str = "bitset") -> Session:
-        """The shared session serving jobs of ``kernel`` (built lazily)."""
+    def session(self, kernel: str = "auto") -> Session:
+        """The shared session serving jobs of ``kernel`` (built lazily).
+
+        The pool is keyed by *resolved* kernel name, so ``"auto"`` and
+        the concrete kernel it resolves to share one session.
+        """
+        name = resolve_kernel(kernel).name
         with self._lock:
-            session = self._sessions.get(kernel)
+            session = self._sessions.get(name)
             if session is None:
-                session = self._session_factory(kernel)
-                self._sessions[kernel] = session
+                session = self._session_factory(name)
+                self._sessions[name] = session
             return session
 
     def create_runner(self, job: "ScheduledJob") -> _JobRunner:
@@ -727,6 +737,29 @@ class InProcessBackend(ExecutionBackend):
             self._sessions.clear()
         for session in sessions:
             session.close()
+
+
+def kernel_registry_stats() -> dict:
+    """The kernel registry as an observability payload.
+
+    Served under ``"kernels"`` in the ``stats`` op and echoed by the
+    gateway's ``/metrics`` as ``repro_kernel_info``: which kernels this
+    server knows, which are available right now, and what ``"auto"``
+    resolves to.
+    """
+    return {
+        "available": list(available_kernels()),
+        "auto": resolve_kernel("auto").name,
+        "registered": {
+            spec.name: {
+                "description": spec.description,
+                "available": spec.is_available(),
+                "priority": spec.priority,
+                "capabilities": sorted(spec.capabilities),
+            }
+            for spec in registered_kernels()
+        },
+    }
 
 
 def aggregate_disk_cache(workers: list[dict], extra: "tuple | list" = ()) -> dict:
@@ -920,7 +953,7 @@ class EnumerationScheduler:
         """The execution backend serving this scheduler's slices."""
         return self._backend
 
-    def session(self, kernel: str = "bitset") -> Session:
+    def session(self, kernel: str = "auto") -> Session:
         """The shared in-process session for ``kernel``.
 
         Only meaningful for the in-process backend (worker processes
@@ -1238,6 +1271,7 @@ class EnumerationScheduler:
             "backend": self._backend.name,
             "workers": workers,
             "cache": aggregate_disk_cache(workers, extra=extra),
+            "kernels": kernel_registry_stats(),
         }
 
     async def close(self) -> None:

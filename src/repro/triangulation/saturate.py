@@ -16,8 +16,8 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
-from ..graphs.bitgraph import BitGraph, validate_kernel
 from ..graphs.graph import Graph, Vertex
+from ..graphs.kernels import KernelSpec, resolve_kernel
 from ..graphs.cliquetree import minimal_separators_chordal
 
 Separator = frozenset[Vertex]
@@ -30,8 +30,10 @@ __all__ = [
 ]
 
 
-def _saturate_masked(graph: Graph, groups: Iterable[Iterable[Vertex]]) -> Graph:
-    """Saturate every vertex group of ``groups`` via the bitset kernel.
+def _saturate_masked(
+    graph: Graph, groups: Iterable[Iterable[Vertex]], spec: KernelSpec
+) -> Graph:
+    """Saturate every vertex group of ``groups`` via a mask-level kernel.
 
     One pass encodes the graph as adjacency bitmasks, each group becomes
     a single mask OR per member (instead of ``O(|U|^2)`` set inserts),
@@ -44,7 +46,7 @@ def _saturate_masked(graph: Graph, groups: Iterable[Iterable[Vertex]]) -> Graph:
         :meth:`Graph.saturate`, so both kernels reject typo'd labels the
         same way instead of the indexer leaking a :class:`KeyError`.
     """
-    bitgraph = BitGraph.from_graph(graph)
+    bitgraph = spec.build_graph(graph)
     mask_of = bitgraph.indexer.mask_of
     for group in groups:
         try:
@@ -58,17 +60,21 @@ def _saturate_masked(graph: Graph, groups: Iterable[Iterable[Vertex]]) -> Graph:
 
 
 def saturate_separators(
-    graph: Graph, separators: Iterable[Separator], kernel: str = "bitset"
+    graph: Graph,
+    separators: Iterable[Separator],
+    kernel: str | KernelSpec = "auto",
 ) -> Graph:
     """``G`` with every separator in ``separators`` saturated into a clique.
 
     When ``separators`` is a maximal pairwise-parallel set of minimal
     separators the result is a minimal triangulation (Theorem 2.5(1)).
-    ``kernel="bitset"`` (default) saturates word-parallel over adjacency
-    bitmasks; ``"sets"`` mutates a :class:`Graph` copy directly.
+    Mask-level kernels (any registered spec with the ``"masks"``
+    capability; the ``"auto"`` default) saturate word-parallel over
+    adjacency bitmasks; ``"sets"`` mutates a :class:`Graph` copy directly.
     """
-    if validate_kernel(kernel) == "bitset" and graph.num_vertices():
-        return _saturate_masked(graph, separators)
+    spec = resolve_kernel(kernel)
+    if spec.uses_masks and graph.num_vertices():
+        return _saturate_masked(graph, separators, spec)
     out = graph.copy()
     for s in separators:
         out.saturate(s)
@@ -76,15 +82,18 @@ def saturate_separators(
 
 
 def saturate_bags(
-    graph: Graph, bags: Iterable[Iterable[Vertex]], kernel: str = "bitset"
+    graph: Graph,
+    bags: Iterable[Iterable[Vertex]],
+    kernel: str | KernelSpec = "auto",
 ) -> Graph:
     """``H_T``: the graph obtained from ``G`` by saturating every bag.
 
     This is the graph the constraint semantics of Section 6.1 are defined
     on (``κ[I,X]`` checks clique-ness of constraint separators in ``H_T``).
     """
-    if validate_kernel(kernel) == "bitset" and graph.num_vertices():
-        return _saturate_masked(graph, bags)
+    spec = resolve_kernel(kernel)
+    if spec.uses_masks and graph.num_vertices():
+        return _saturate_masked(graph, bags, spec)
     out = graph.copy()
     for bag in bags:
         out.saturate(bag)

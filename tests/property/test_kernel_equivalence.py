@@ -1,28 +1,61 @@
-"""Differential tests: the bitset kernel is *exact* w.r.t. the set kernel.
+"""Differential tests: every fast kernel is *exact* w.r.t. the set kernel.
 
 The whole point of ranked enumeration is a bit-for-bit ordered output
-stream, so the dense bitset kernel is only admissible if it is
-observationally identical to the label-level reference.  These tests
-generate random graphs (Hypothesis plus a fixed corpus — well over 200
-cases per run) and assert that both kernels produce
+stream, so a mask-level kernel (``bitset``, ``numpy``, or anything
+third-party code registers) is only admissible if it is observationally
+identical to the label-level reference.  These tests generate random
+graphs (Hypothesis plus a fixed corpus — well over 200 cases per run)
+and assert, for every registered kernel other than ``sets``,
 
 * identical minimal-separator sets,
 * identical potential-maximal-clique sets,
 * identical crossing-relation answers, and
 * **identical ordered ranked-enumeration prefixes** — same costs, same
   bag sets, same sequence positions, under two different cost specs.
+
+The parametrization is registry-driven: ``numpy`` rows are skip-marked
+when the import probe fails (or ``REPRO_DISABLE_NUMPY`` is set), and any
+extra kernel registered before collection is swept automatically.
 """
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.api import Session
 from repro.core.context import TriangulationContext
 from repro.graphs.graph import Graph
+from repro.graphs.kernels import available_kernels, resolve_kernel
 from repro.pmc.enumerate import potential_maximal_cliques
 from repro.separators.berry import minimal_separators
 from repro.separators.crossing import SeparatorFamily
 
 from ..conftest import connected_random_graphs
+
+
+def _fast_kernel_params():
+    """Every registered non-oracle kernel, skip-marked when unavailable."""
+    avail = available_kernels()
+    params = [pytest.param("bitset", id="bitset")]
+    params.append(
+        pytest.param(
+            "numpy",
+            id="numpy",
+            marks=pytest.mark.skipif(
+                "numpy" not in avail,
+                reason="numpy kernel unavailable (not importable or disabled)",
+            ),
+        )
+    )
+    params.extend(
+        pytest.param(name, id=name)
+        for name in avail
+        if name not in ("sets", "bitset", "numpy")
+    )
+    return params
+
+
+FAST_KERNELS = _fast_kernel_params()
+fast_kernels = pytest.mark.parametrize("kernel", FAST_KERNELS)
 
 
 @st.composite
@@ -43,52 +76,56 @@ def ranked_prefix(graph, cost, kernel, k):
 # ---------------------------------------------------------------------------
 # Structure equivalence
 # ---------------------------------------------------------------------------
+@fast_kernels
 @settings(max_examples=80, deadline=None)
-@given(small_graphs(max_n=12))
-def test_minimal_separator_sets_identical(g):
+@given(g=small_graphs(max_n=12))
+def test_minimal_separator_sets_identical(kernel, g):
     assert minimal_separators(g, kernel="sets") == minimal_separators(
-        g, kernel="bitset"
+        g, kernel=kernel
     )
 
 
+@fast_kernels
 @settings(max_examples=60, deadline=None)
-@given(small_graphs(max_n=10))
-def test_pmc_sets_identical(g):
+@given(g=small_graphs(max_n=10))
+def test_pmc_sets_identical(kernel, g):
     seps = minimal_separators(g)
     assert potential_maximal_cliques(
         g, separators=seps, kernel="sets"
-    ) == potential_maximal_cliques(g, separators=seps, kernel="bitset")
+    ) == potential_maximal_cliques(g, separators=seps, kernel=kernel)
 
 
+@fast_kernels
 @settings(max_examples=40, deadline=None)
-@given(small_graphs(max_n=10))
-def test_crossing_relation_identical(g):
-    from repro.graphs.bitgraph import BitGraph
-
+@given(g=small_graphs(max_n=10))
+def test_crossing_relation_identical(kernel, g):
+    spec = resolve_kernel(kernel)
     seps = sorted(minimal_separators(g), key=sorted)
     plain = SeparatorFamily(g, seps)
-    bitset = SeparatorFamily(g, seps, bitgraph=BitGraph.from_graph(g))
+    masked = SeparatorFamily(g, seps, bitgraph=spec.build_graph(g))
     for i, s in enumerate(seps):
         for t in seps[i + 1 :]:
-            assert plain.crosses(s, t) == bitset.crosses(s, t)
+            assert plain.crosses(s, t) == masked.crosses(s, t)
 
 
 # ---------------------------------------------------------------------------
 # Ranked-order equivalence (the paper's contract: ordered, duplicate-free)
 # ---------------------------------------------------------------------------
+@fast_kernels
 @settings(max_examples=160, deadline=None)
-@given(small_graphs(max_n=9), st.sampled_from(["fill", "width"]))
-def test_ranked_prefix_identical_random(g, cost):
+@given(g=small_graphs(max_n=9), cost=st.sampled_from(["fill", "width"]))
+def test_ranked_prefix_identical_random(kernel, g, cost):
     if not g.is_connected():
         # Ranked enumeration requires connectivity; keep the case by
         # enumerating the largest component instead of discarding it.
         g = g.subgraph(max(g.connected_components(), key=len))
     assert ranked_prefix(g, cost, "sets", 8) == ranked_prefix(
-        g, cost, "bitset", 8
+        g, cost, kernel, 8
     )
 
 
-def test_ranked_prefix_identical_corpus(small_graph_zoo):
+@fast_kernels
+def test_ranked_prefix_identical_corpus(small_graph_zoo, kernel):
     # A fixed, deterministic sweep on top of the Hypothesis cases: every
     # zoo graph under both cost specs, deeper prefixes (k=12).
     corpus = list(small_graph_zoo)
@@ -98,17 +135,18 @@ def test_ranked_prefix_identical_corpus(small_graph_zoo):
     for g in corpus:
         for cost in ("fill", "width"):
             assert ranked_prefix(g, cost, "sets", 12) == ranked_prefix(
-                g, cost, "bitset", 12
+                g, cost, kernel, 12
             )
             checked += 1
     assert checked >= 40
 
 
-def test_full_enumeration_identical_with_width_bound():
+@fast_kernels
+def test_full_enumeration_identical_with_width_bound(kernel):
     for g in connected_random_graphs(8, 0.4, 4, seed_base=1200):
         sequences = []
-        for kernel in ("sets", "bitset"):
-            with Session(kernel=kernel).stream(
+        for k in ("sets", kernel):
+            with Session(kernel=k).stream(
                 g, "fill", width_bound=4
             ) as stream:
                 sequences.append(
@@ -117,30 +155,59 @@ def test_full_enumeration_identical_with_width_bound():
         assert sequences[0] == sequences[1]
 
 
-def test_contexts_structurally_identical():
+@fast_kernels
+def test_contexts_structurally_identical(kernel):
     # Same separators, PMCs, blocks (in the same order), and the same
     # block -> candidate-PMC lists — the DP inputs match exactly.
     for g in connected_random_graphs(9, 0.4, 4, seed_base=1300):
         ctx_sets = TriangulationContext.build(g, kernel="sets")
-        ctx_bits = TriangulationContext.build(g, kernel="bitset")
-        assert ctx_sets.kernel == "sets" and ctx_bits.kernel == "bitset"
-        assert ctx_sets.separators == ctx_bits.separators
-        assert ctx_sets.pmcs == ctx_bits.pmcs
-        assert ctx_sets.blocks == ctx_bits.blocks
-        assert ctx_sets.pmc_index == ctx_bits.pmc_index
-        assert ctx_sets.root_pmc_order() == ctx_bits.root_pmc_order()
+        ctx_fast = TriangulationContext.build(g, kernel=kernel)
+        assert ctx_sets.kernel == "sets" and ctx_fast.kernel == kernel
+        assert ctx_sets.separators == ctx_fast.separators
+        assert ctx_sets.pmcs == ctx_fast.pmcs
+        assert ctx_sets.blocks == ctx_fast.blocks
+        assert ctx_sets.pmc_index == ctx_fast.pmc_index
+        assert ctx_sets.root_pmc_order() == ctx_fast.root_pmc_order()
 
 
-def test_children_of_identical_across_kernels():
+@fast_kernels
+def test_children_of_identical_across_kernels(kernel):
     for g in connected_random_graphs(8, 0.45, 3, seed_base=1400):
         ctx_sets = TriangulationContext.build(g, kernel="sets")
-        ctx_bits = TriangulationContext.build(g, kernel="bitset")
+        ctx_fast = TriangulationContext.build(g, kernel=kernel)
         for omega in ctx_sets.root_pmc_order():
             assert sorted(
                 ctx_sets.children_of(None, omega), key=repr
-            ) == sorted(ctx_bits.children_of(None, omega), key=repr)
+            ) == sorted(ctx_fast.children_of(None, omega), key=repr)
         for block in ctx_sets.blocks:
             for omega in ctx_sets.pmc_index[block][:3]:
                 assert sorted(
                     ctx_sets.children_of(block, omega), key=repr
-                ) == sorted(ctx_bits.children_of(block, omega), key=repr)
+                ) == sorted(ctx_fast.children_of(block, omega), key=repr)
+
+
+# ---------------------------------------------------------------------------
+# Batched-scale equivalence: instances big enough that the numpy kernel's
+# whole-array paths (above its scalar cutoff) actually engage.
+# ---------------------------------------------------------------------------
+@fast_kernels
+def test_batched_scale_structures_identical(kernel):
+    from repro.graphs.generators import connected_erdos_renyi, grid_graph
+
+    for g in (
+        grid_graph(4, 4),
+        connected_erdos_renyi(16, 0.3, seed=77),
+    ):
+        seps_sets = minimal_separators(g, kernel="sets")
+        seps_fast = minimal_separators(g, kernel=kernel)
+        assert seps_sets == seps_fast
+        pmcs_sets = potential_maximal_cliques(
+            g, separators=seps_sets, kernel="sets"
+        )
+        pmcs_fast = potential_maximal_cliques(
+            g, separators=seps_fast, kernel=kernel
+        )
+        assert pmcs_sets == pmcs_fast
+        assert ranked_prefix(g, "fill", "sets", 5) == ranked_prefix(
+            g, "fill", kernel, 5
+        )
